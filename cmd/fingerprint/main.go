@@ -1,0 +1,51 @@
+// Command fingerprint runs the Sec 6.1 sender-identification study behind
+// Fig 21: false-positive and false-negative rates of the uplink STF
+// channel-fingerprinting technique at the aggressive and passive
+// thresholds.
+//
+// Usage:
+//
+//	fingerprint [-locations N] [-packets N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fastforward/internal/ident"
+	"fastforward/internal/rng"
+	"fastforward/internal/stats"
+)
+
+func main() {
+	locations := flag.Int("locations", 100, "client placements (paper: 100)")
+	packets := flag.Int("packets", 1000, "packets per client (paper: >=1000)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	fmt.Println("== Figure 21: sender identification from channel fingerprints ==")
+	for _, mode := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"aggressive", ident.AggressiveThreshold},
+		{"passive", ident.PassiveThreshold},
+	} {
+		cfg := ident.DefaultStudyConfig(mode.threshold)
+		cfg.NLocations = *locations
+		cfg.PacketsPerClient = *packets
+		res := ident.RunStudy(rng.New(*seed), cfg)
+		fp := stats.NewCDF(res.FalsePositivePct)
+		fn := stats.NewCDF(res.FalseNegativePct)
+		fmt.Printf("-- %s threshold (%.2f) --\n", mode.name, mode.threshold)
+		fmt.Printf("  false positives: mean %.2f%%  median %.2f%%  p90 %.2f%%\n",
+			fp.Mean(), fp.Median(), fp.Percentile(90))
+		fmt.Printf("  false negatives: mean %.2f%%  median %.2f%%  p90 %.2f%%\n",
+			fn.Mean(), fn.Median(), fn.Percentile(90))
+		fmt.Println("  CDF of per-location false-negative rate:")
+		for _, pt := range fn.Points(6) {
+			fmt.Printf("    %5.1f%%  cdf=%.2f\n", pt.X, pt.Y)
+		}
+	}
+	fmt.Println("(paper: ~5% false negatives, ~zero false positives at the aggressive threshold)")
+}

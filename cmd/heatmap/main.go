@@ -1,0 +1,57 @@
+// Command heatmap renders the Fig 1 (SNR) and Fig 2 (spatial streams)
+// coverage maps of a scenario, with and without the FastForward relay, as
+// ASCII art plus summary statistics.
+//
+// Usage:
+//
+//	heatmap [-scenario home|open-office|l-corridor|two-wide-rooms] [-grid m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastforward/internal/floorplan"
+	"fastforward/internal/testbed"
+)
+
+func main() {
+	name := flag.String("scenario", "home", "scenario name")
+	grid := flag.Float64("grid", 0.75, "grid spacing in meters")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var sc floorplan.Scenario
+	found := false
+	for _, s := range floorplan.Scenarios() {
+		if s.Name == *name {
+			sc = s
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *name)
+		os.Exit(2)
+	}
+	cfg := testbed.DefaultConfig(*seed)
+	cfg.GridSpacingM = *grid
+	cells := testbed.Heatmap(sc, cfg)
+
+	fmt.Println("== Figure 1: SNR heatmap (glyphs: ' '<5 '.'<10 ':'<15 '-'<20 '='<25 '+'<30 '*'>=30 dB) ==")
+	fmt.Println("-- AP only --")
+	fmt.Print(testbed.RenderSNR(sc, cells, false))
+	fmt.Println("-- AP + FF relay --")
+	fmt.Print(testbed.RenderSNR(sc, cells, true))
+
+	fmt.Println("== Figure 2: usable spatial streams ==")
+	fmt.Println("-- AP only --")
+	fmt.Print(testbed.RenderStreams(sc, cells, false))
+	fmt.Println("-- AP + FF relay --")
+	fmt.Print(testbed.RenderStreams(sc, cells, true))
+
+	s := testbed.Summarize(cells)
+	fmt.Printf("summary: median SNR %.1f -> %.1f dB; 2-stream coverage %.0f%% -> %.0f%%\n",
+		s.MedianAPOnlySNRdB, s.MedianFFSNRdB,
+		100*s.FracAPOnlyTwoStreams, 100*s.FracFFStream2)
+}

@@ -1,0 +1,66 @@
+// Closedloop runs the paper's Sec 4.2 control plane end to end, with no
+// genie knowledge anywhere: the AP sounds the channel, the client feeds
+// back its compressed estimate, the relay snoops both — measuring its own
+// channels from the packets' preambles — computes the amplification bound
+// and the constructive filter from those estimates, and then forwards
+// data frames for a client at the coverage edge.
+//
+// Run with: go run ./examples/closedloop
+package main
+
+import (
+	"fmt"
+
+	"fastforward/internal/channel"
+	"fastforward/internal/dsp"
+	"fastforward/internal/protocol"
+	"fastforward/internal/rng"
+	"fastforward/internal/wifi"
+)
+
+func main() {
+	src := rng.New(42)
+	// Edge client: ~8 dB direct SNR. Relay well-placed between.
+	chSD := channel.NewRayleigh(src, 3, 0.5, dsp.Linear(-74))
+	chSR := channel.NewRayleigh(src, 2, 0.5, dsp.Linear(-52))
+	chRD := channel.NewRayleigh(src, 2, 0.5, dsp.Linear(-58))
+	s := protocol.NewSession(src, chSD, chSR, chRD, 0, 8)
+
+	fmt.Println("FastForward closed-loop control plane (all channels learned over the air)")
+	if err := s.RunSoundingExchange(); err != nil {
+		fmt.Println("sounding exchange failed:", err)
+		return
+	}
+	hsd, hsr, hrd := s.EstimatedChannels()
+	gain := func(h []complex128) float64 {
+		var g float64
+		for _, v := range h {
+			g += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return dsp.DB(g / float64(len(h)))
+	}
+	fmt.Printf("  relay's learned channels: AP->client %.1f dB, AP->relay %.1f dB, relay->client %.1f dB\n",
+		gain(hsd), gain(hsr), gain(hrd))
+	fmt.Printf("  amplification chosen: %.1f dB (cancellation, noise rule, PA cap)\n",
+		s.AmplificationDB())
+
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, m := range []wifi.MCS{wifi.MCSList()[1], wifi.MCSList()[4]} {
+		direct, err := s.DeliverData(payload, m, 8, false)
+		if err != nil {
+			fmt.Println("deliver:", err)
+			return
+		}
+		relayed, err := s.DeliverData(payload, m, 8, true)
+		if err != nil {
+			fmt.Println("deliver:", err)
+			return
+		}
+		fmt.Printf("  %-22v direct %d/8, with FF relay %d/8 frames\n", m, direct, relayed)
+	}
+	fmt.Println("\n(the relay never saw ground-truth channels: estimates come from the")
+	fmt.Println(" sounding frame, the snooped feedback, and its own preamble measurements)")
+}

@@ -1,0 +1,67 @@
+// Homecoverage reproduces the paper's motivating scenario (Fig 1): the
+// 2000 sq ft home with the AP in a corner of the living room and the FF
+// relay at the corridor mouth. It prints the coverage maps with and
+// without the relay and a per-room throughput comparison for all three
+// schemes.
+//
+// Run with: go run ./examples/homecoverage
+package main
+
+import (
+	"fmt"
+
+	"fastforward/internal/floorplan"
+	"fastforward/internal/stats"
+	"fastforward/internal/testbed"
+)
+
+func main() {
+	sc := floorplan.Scenarios()[0] // the home
+	cfg := testbed.DefaultConfig(7)
+	cfg.GridSpacingM = 1.0
+
+	fmt.Println("Home coverage with a FastForward relay")
+	fmt.Printf("AP at (%.1f, %.1f), relay at (%.1f, %.1f)\n\n", sc.AP.X, sc.AP.Y, sc.Relay.X, sc.Relay.Y)
+
+	cells := testbed.Heatmap(sc, cfg)
+	fmt.Println("SNR map, AP only (' '<5 '.'<10 ':'<15 '-'<20 '='<25 '+'<30 '*'>=30 dB):")
+	fmt.Print(testbed.RenderSNR(sc, cells, false))
+	fmt.Println("SNR map with FF relay:")
+	fmt.Print(testbed.RenderSNR(sc, cells, true))
+
+	sum := testbed.Summarize(cells)
+	fmt.Printf("median SNR: %.1f dB -> %.1f dB\n", sum.MedianAPOnlySNRdB, sum.MedianFFSNRdB)
+	fmt.Printf("two-stream coverage: %.0f%% -> %.0f%%\n\n",
+		100*sum.FracAPOnlyTwoStreams, 100*sum.FracFFStream2)
+
+	// Room-by-room throughput.
+	rooms := []struct {
+		name           string
+		x0, y0, x1, y1 float64
+	}{
+		{"living room", 0, 0, 14, 5.5},
+		{"corridor", 6, 5.5, 8, 9},
+		{"bedroom 1 (left)", 0, 9, 7, 13},
+		{"bedroom 2 (right)", 7, 9, 14, 13},
+	}
+	tb := testbed.New(sc, cfg)
+	evals := tb.RunAll()
+	table := stats.NewTable("room", "AP-only Mbps", "half-duplex Mbps", "FF Mbps")
+	for _, room := range rooms {
+		var ap, hd, ff []float64
+		for _, ev := range evals {
+			pt := ev.Location
+			if pt.X >= room.x0 && pt.X < room.x1 && pt.Y >= room.y0 && pt.Y < room.y1 {
+				ap = append(ap, ev.APOnlyMbps)
+				hd = append(hd, ev.HalfDuplexMbps)
+				ff = append(ff, ev.RelayMbps)
+			}
+		}
+		if len(ap) == 0 {
+			continue
+		}
+		table.AddRow(room.name, stats.Median(ap), stats.Median(hd), stats.Median(ff))
+	}
+	fmt.Println("median PHY throughput by room:")
+	fmt.Print(table.String())
+}

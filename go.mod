@@ -1,0 +1,3 @@
+module fastforward
+
+go 1.22

@@ -1,0 +1,272 @@
+// Package cnf implements FastForward's construct-and-forward filtering
+// (Secs 3.2 and 3.4), the paper's headline contribution. Given the three
+// channels around the relay — source→destination (hsd), source→relay (hsr)
+// and relay→destination (hrd) — it computes the filter F and amplification
+// A that make the relayed signal combine *coherently* with the direct
+// signal at the destination:
+//
+//	SISO:  maximize |hsd + hrd·F·A·hsr|      (closed-form phase rotation)
+//	MIMO:  maximize det(Hsd + Hrd·F·A·Hsr)   (projected gradient on the
+//	                                          unitary manifold, Eq. 2)
+//
+// subject to A ≤ Amax, where Amax is bounded both by the achieved
+// self-interference cancellation (feedback stability, Fig 7) and by the
+// noise-amplification rule of Sec 3.5 (relay noise must land below the
+// destination's noise floor).
+//
+// It also synthesizes the implementable form of the filter: a 4-tap
+// digital pre-filter at 80 Msps (50 ns delay budget) cascaded with the
+// 4-line/100 ps analog rotation filter of Fig 10, via alternating least
+// squares — the sequential-convex-programming split of Sec 3.4.
+package cnf
+
+import (
+	"math"
+	"math/cmplx"
+
+	"fastforward/internal/dsp"
+	"fastforward/internal/linalg"
+	"fastforward/internal/rng"
+)
+
+// Margins used by the amplification rule.
+const (
+	// StabilityMarginDB keeps amplification safely below cancellation so
+	// the TX→RX feedback loop stays stable (Fig 7).
+	StabilityMarginDB = 3.0
+	// NoiseMarginDB is the extra back-off of Sec 3.5 that puts amplified
+	// relay noise below the destination noise floor.
+	NoiseMarginDB = 3.0
+)
+
+// AmplificationLimitDB returns the maximum relay power amplification in dB
+// given the achieved self-interference cancellation and the
+// relay→destination path attenuation (positive dB). It implements
+// A = min(C − 3, a − 3): the first term is the feedback-stability bound,
+// the second the noise rule of Sec 3.5.
+func AmplificationLimitDB(cancellationDB, rdAttenuationDB float64) float64 {
+	a := cancellationDB - StabilityMarginDB
+	b := rdAttenuationDB - NoiseMarginDB
+	if b < a {
+		a = b
+	}
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
+// DesiredSISO returns the ideal per-subcarrier constructive filter
+// response Hc for a SISO relay: a pure rotation aligning the relayed path
+// with the direct path, scaled by the amplitude gain corresponding to
+// ampDB (power dB). Subcarriers where the relayed path is dead get zero.
+func DesiredSISO(hsd, hsr, hrd []complex128, ampDB float64) []complex128 {
+	if len(hsd) != len(hsr) || len(hsr) != len(hrd) {
+		panic("cnf: channel vector length mismatch")
+	}
+	amp := dsp.AmplitudeFromDB(ampDB)
+	hc := make([]complex128, len(hsd))
+	for i := range hsd {
+		relayed := hrd[i] * hsr[i]
+		if relayed == 0 {
+			continue
+		}
+		theta := cmplx.Phase(hsd[i]) - cmplx.Phase(relayed)
+		if hsd[i] == 0 {
+			// No direct path: any phase works; use zero rotation.
+			theta = 0
+		}
+		hc[i] = cmplx.Rect(amp, theta)
+	}
+	return hc
+}
+
+// EffectiveSISO returns the per-subcarrier effective channel seen by the
+// destination: hsd + hrd·Hc·hsr (Eq. 1's numerator).
+func EffectiveSISO(hsd, hsr, hrd, hc []complex128) []complex128 {
+	out := make([]complex128, len(hsd))
+	for i := range hsd {
+		out[i] = hsd[i] + hrd[i]*hc[i]*hsr[i]
+	}
+	return out
+}
+
+// LinkBudget describes one direction of a relayed link for SNR accounting.
+type LinkBudget struct {
+	// TxPowerMW is the source transmit power per stream (mW).
+	TxPowerMW float64
+	// NoiseFloorMW is the destination (and relay) noise power (mW).
+	NoiseFloorMW float64
+	// RelayNoiseMW is the relay receiver's own noise power (mW); usually
+	// equal to NoiseFloorMW.
+	RelayNoiseMW float64
+}
+
+// DestSNRdB evaluates Eq. 1 per subcarrier: the destination SNR including
+// the relay-amplified noise term N_total = n_d + hrd·Hc·n_r.
+func DestSNRdB(hsd, hsr, hrd, hc []complex128, b LinkBudget) []float64 {
+	out := make([]float64, len(hsd))
+	for i := range hsd {
+		heff := hsd[i] + hrd[i]*hc[i]*hsr[i]
+		sig := b.TxPowerMW * absSq(heff)
+		noise := b.NoiseFloorMW + b.RelayNoiseMW*absSq(hrd[i]*hc[i])
+		if noise <= 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = dsp.DB(sig / noise)
+	}
+	return out
+}
+
+// MeanSNRdB averages per-subcarrier SNRs in the power domain (the
+// effective SNR a rate controller would use).
+func MeanSNRdB(snrs []float64) float64 {
+	if len(snrs) == 0 {
+		return math.Inf(-1)
+	}
+	var acc float64
+	for _, s := range snrs {
+		acc += dsp.Linear(s)
+	}
+	return dsp.DB(acc / float64(len(snrs)))
+}
+
+func absSq(z complex128) float64 {
+	return real(z)*real(z) + imag(z)*imag(z)
+}
+
+// DesiredMIMO solves Eq. 2 per subcarrier: F maximizing
+// |det(Hsd + Hrd·F·A·Hsr)| over unitary K×K matrices F, with A fixed at
+// the amplitude corresponding to ampDB. It uses projected gradient ascent
+// on the unitary manifold with multiple restarts (the "non-linear
+// optimization technique" of Sec 3.2). The returned slice holds F·A (the
+// combined filter, as the paper solves for) per subcarrier.
+func DesiredMIMO(Hsd, Hsr, Hrd []*linalg.Matrix, ampDB float64, src *rng.Source) []*linalg.Matrix {
+	if len(Hsd) != len(Hsr) || len(Hsr) != len(Hrd) {
+		panic("cnf: channel matrix count mismatch")
+	}
+	amp := dsp.AmplitudeFromDB(ampDB)
+	out := make([]*linalg.Matrix, len(Hsd))
+	var warm *linalg.Matrix
+	for i := range Hsd {
+		// Warm-start from the previous subcarrier's solution: channels are
+		// smooth in frequency, and keeping the optimizer on one solution
+		// branch keeps F(f) smooth — which is what makes the filter
+		// implementable by the short digital+analog cascade (Sec 3.4).
+		out[i] = optimizeF(Hsd[i], Hsr[i], Hrd[i], amp, src, warm)
+		warm = out[i].Scale(1 / amp)
+	}
+	return out
+}
+
+// optimizeF maximizes |det(Hsd + A·Hrd·F·Hsr)| over unitary F. A non-nil
+// warm start is tried first and, when it converges to a competitive value,
+// preferred (it keeps per-subcarrier solutions on one smooth branch).
+func optimizeF(Hsd, Hsr, Hrd *linalg.Matrix, amp float64, src *rng.Source, warm *linalg.Matrix) *linalg.Matrix {
+	k := Hrd.Cols // relay antenna count
+	if Hsr.Rows != k {
+		panic("cnf: relay antenna dimension mismatch")
+	}
+	objective := func(F *linalg.Matrix) float64 {
+		M := Hsd.Add(Hrd.Mul(F).Mul(Hsr).Scale(amp))
+		return cmplx.Abs(M.Det())
+	}
+	var starts []*linalg.Matrix
+	if warm != nil {
+		starts = append(starts, warm)
+	}
+	starts = append(starts, linalg.Identity(k))
+	if src != nil {
+		n := 4
+		if warm != nil {
+			n = 1 // cold restarts only as a safety net once warm
+		}
+		for r := 0; r < n; r++ {
+			starts = append(starts, linalg.FromRows(src.RandomUnitary(k)))
+		}
+	}
+	var bestF *linalg.Matrix
+	bestVal := math.Inf(-1)
+	warmVal := math.Inf(-1)
+	for si, F0 := range starts {
+		F := F0.Clone()
+		val := objective(F)
+		step := 0.5
+		for iter := 0; iter < 200 && step > 1e-6; iter++ {
+			M := Hsd.Add(Hrd.Mul(F).Mul(Hsr).Scale(amp))
+			Minv, err := M.Inverse()
+			if err != nil {
+				// Singular effective channel: nudge F randomly.
+				if src != nil {
+					F = linalg.FromRows(src.RandomUnitary(k))
+					val = objective(F)
+					continue
+				}
+				break
+			}
+			// Gradient of log|det M| w.r.t. conj(F): A·Hrdᴴ·M⁻ᴴ·Hsrᴴ.
+			G := Hrd.Adjoint().Mul(Minv.Adjoint()).Mul(Hsr.Adjoint()).Scale(amp)
+			cand := F.Add(G.Scale(step))
+			proj, err := cand.ProjectUnitary()
+			if err != nil {
+				step /= 2
+				continue
+			}
+			if v := objective(proj); v > val {
+				F = proj
+				val = v
+			} else {
+				step /= 2
+			}
+		}
+		if warm != nil && si == 0 {
+			warmVal = val
+		}
+		if val > bestVal {
+			bestVal = val
+			bestF = F
+		}
+	}
+	// Prefer the warm branch when it is within 1% of the best restart:
+	// the smoothness benefit outweighs a marginal det difference.
+	if warm != nil && warmVal >= 0.99*bestVal {
+		// Re-run the warm ascent result: it was starts[0]; recompute it.
+		// (bestF may already be the warm one; this keeps the invariant.)
+		F := warm.Clone()
+		val := objective(F)
+		step := 0.5
+		for iter := 0; iter < 200 && step > 1e-6; iter++ {
+			M := Hsd.Add(Hrd.Mul(F).Mul(Hsr).Scale(amp))
+			Minv, err := M.Inverse()
+			if err != nil {
+				break
+			}
+			G := Hrd.Adjoint().Mul(Minv.Adjoint()).Mul(Hsr.Adjoint()).Scale(amp)
+			cand := F.Add(G.Scale(step))
+			proj, err := cand.ProjectUnitary()
+			if err != nil {
+				step /= 2
+				continue
+			}
+			if v := objective(proj); v > val {
+				F = proj
+				val = v
+			} else {
+				step /= 2
+			}
+		}
+		return F.Scale(amp)
+	}
+	return bestF.Scale(amp)
+}
+
+// EffectiveMIMO returns the per-subcarrier effective MIMO channel
+// Hsd + Hrd·FA·Hsr for a filter slice produced by DesiredMIMO.
+func EffectiveMIMO(Hsd, Hsr, Hrd, FA []*linalg.Matrix) []*linalg.Matrix {
+	out := make([]*linalg.Matrix, len(Hsd))
+	for i := range Hsd {
+		out[i] = Hsd[i].Add(Hrd[i].Mul(FA[i]).Mul(Hsr[i]))
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package cnf
+
+import (
+	"testing"
+
+	"fastforward/internal/rng"
+)
+
+func soundingBudget() LinkBudget {
+	return LinkBudget{TxPowerMW: 100, NoiseFloorMW: 1e-9, RelayNoiseMW: 1e-9}
+}
+
+func TestStalenessFreshBeatsStale(t *testing.T) {
+	src := rng.New(1)
+	res := StalenessStudy(src, SoundingConfig{
+		CoherenceMs:        300,
+		SoundingIntervalMs: 50,
+		AmpDB:              55,
+		Budget:             soundingBudget(),
+	})
+	if res.FreshGainDB <= 0 {
+		t.Fatalf("fresh constructive gain %v should be positive", res.FreshGainDB)
+	}
+	if res.LossDB < 0 {
+		t.Errorf("stale filter cannot beat the fresh one: loss %v", res.LossDB)
+	}
+}
+
+func TestStalenessPaper50msIsCheap(t *testing.T) {
+	// The design point the paper chose: at pedestrian coherence times
+	// (~300 ms), a 50 ms sounding interval costs well under 2 dB of the
+	// constructive gain.
+	src := rng.New(2)
+	res := StalenessStudy(src, SoundingConfig{
+		CoherenceMs:        300,
+		SoundingIntervalMs: 50,
+		AmpDB:              55,
+		Budget:             soundingBudget(),
+	})
+	if res.LossDB > 2 {
+		t.Errorf("50 ms sounding loses %v dB at 300 ms coherence, want < 2", res.LossDB)
+	}
+}
+
+func TestStalenessGrowsWithInterval(t *testing.T) {
+	loss := func(intervalMs float64) float64 {
+		src := rng.New(3)
+		return StalenessStudy(src, SoundingConfig{
+			CoherenceMs:        200,
+			SoundingIntervalMs: intervalMs,
+			AmpDB:              55,
+			Budget:             soundingBudget(),
+		}).LossDB
+	}
+	l50 := loss(50)
+	l400 := loss(400)
+	if l400 <= l50 {
+		t.Errorf("staleness loss should grow with the interval: %v @50ms vs %v @400ms", l50, l400)
+	}
+	// At intervals far beyond coherence, the held filter is useless: the
+	// loss approaches the entire coherent-combination benefit.
+	l2000 := loss(2000)
+	if l2000 < l400 {
+		t.Errorf("loss should keep growing: %v @400ms vs %v @2000ms", l400, l2000)
+	}
+}
+
+func TestStalenessFastChannelsNeedFasterSounding(t *testing.T) {
+	// With a short coherence time (vehicular-ish), even 50 ms is too slow.
+	slowLoss := StalenessStudy(rng.New(4), SoundingConfig{
+		CoherenceMs: 300, SoundingIntervalMs: 50, AmpDB: 55, Budget: soundingBudget(),
+	}).LossDB
+	fastLoss := StalenessStudy(rng.New(4), SoundingConfig{
+		CoherenceMs: 20, SoundingIntervalMs: 50, AmpDB: 55, Budget: soundingBudget(),
+	}).LossDB
+	if fastLoss <= slowLoss {
+		t.Errorf("faster channels should suffer more staleness: %v vs %v", fastLoss, slowLoss)
+	}
+}

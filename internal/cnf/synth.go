@@ -1,0 +1,173 @@
+package cnf
+
+import (
+	"math"
+	"math/cmplx"
+
+	"fastforward/internal/linalg"
+)
+
+// Analog rotation filter geometry (Fig 10): four delay lines a quarter
+// carrier period apart, i.e. 100 ps steps at 2.45 GHz, spanning 360°.
+const (
+	CarrierHz        = 2.45e9
+	AnalogTapSpacing = 100e-12
+	AnalogTaps       = 4
+	// AnalogFilterDelayS is the analog filter's processing delay (Sec 3.4
+	// quotes ~3 ns including routing).
+	AnalogFilterDelayS = 3e-9
+	// PreFilterRate is the digital pre-filter's sampling rate (80 Msps).
+	PreFilterRate = 80e6
+	// PreFilterTaps is the pre-filter length: 4 taps × 12.5 ns = 50 ns,
+	// the paper's digital delay budget.
+	PreFilterTaps = 4
+	// ConverterDelayS models ADC+DAC latency (Sec 3.3: ~50 ns).
+	ConverterDelayS = 50e-9
+)
+
+// FilterImpl is the implementable constructive filter: a short complex
+// digital pre-filter cascaded with the 4-line analog rotation filter.
+type FilterImpl struct {
+	// DigitalTaps are the pre-filter coefficients at PreFilterRate.
+	DigitalTaps []complex128
+	// AnalogGains are the non-negative gains on the four analog delay
+	// lines (0, 100, 200, 300 ps).
+	AnalogGains []float64
+	// FitErrorDB is the residual of the synthesis relative to the desired
+	// response power (lower/more negative is better).
+	FitErrorDB float64
+}
+
+// DigitalResponse evaluates the pre-filter at baseband frequency f.
+func (fi *FilterImpl) DigitalResponse(f float64) complex128 {
+	var acc complex128
+	for n, h := range fi.DigitalTaps {
+		acc += h * cmplx.Exp(complex(0, -2*math.Pi*f*float64(n)/PreFilterRate))
+	}
+	return acc
+}
+
+// AnalogResponse evaluates the analog rotation filter at baseband
+// frequency f (phases computed at RF, which is what makes 100 ps lines a
+// 90° rotator).
+func (fi *FilterImpl) AnalogResponse(f float64) complex128 {
+	var acc complex128
+	for k, g := range fi.AnalogGains {
+		tau := float64(k) * AnalogTapSpacing
+		acc += complex(g, 0) * cmplx.Exp(complex(0, -2*math.Pi*(CarrierHz+f)*tau))
+	}
+	return acc
+}
+
+// Response is the cascade Hp(f)·Ha(f).
+func (fi *FilterImpl) Response(f float64) complex128 {
+	return fi.DigitalResponse(f) * fi.AnalogResponse(f)
+}
+
+// LatencyS returns the filter's worst-case processing delay: the full
+// digital tap span plus the analog filter delay (converters are accounted
+// separately by the relay).
+func (fi *FilterImpl) LatencyS() float64 {
+	return float64(len(fi.DigitalTaps)-1)/PreFilterRate + AnalogFilterDelayS
+}
+
+// Synthesize splits a desired per-subcarrier response Hc across the
+// digital pre-filter and the analog rotation filter by alternating least
+// squares (the SCP of Sec 3.4): holding one stage fixed, the other's fit
+// is convex. carriers/nfft/sampleRate define the subcarrier frequencies of
+// the desired response.
+func Synthesize(desired []complex128, carriers []int, nfft int, sampleRate float64) *FilterImpl {
+	return SynthesizeWithBudget(desired, carriers, nfft, sampleRate, PreFilterTaps)
+}
+
+// SynthesizeWithBudget is Synthesize with an explicit digital pre-filter
+// tap budget (each tap costs 12.5 ns of delay at 80 Msps); used by the
+// tap-budget ablation.
+func SynthesizeWithBudget(desired []complex128, carriers []int, nfft int, sampleRate float64, nTaps int) *FilterImpl {
+	if len(desired) != len(carriers) {
+		panic("cnf: Synthesize length mismatch")
+	}
+	if nTaps < 1 {
+		nTaps = 1
+	}
+	n := len(desired)
+	freqs := make([]float64, n)
+	for i, k := range carriers {
+		freqs[i] = float64(k) * sampleRate / float64(nfft)
+	}
+	impl := &FilterImpl{
+		DigitalTaps: make([]complex128, nTaps),
+		AnalogGains: make([]float64, AnalogTaps),
+	}
+	// Initialize: all rotation in the analog stage, unit impulse digital.
+	impl.DigitalTaps[0] = 1
+
+	analogBasis := func(f float64, k int) complex128 {
+		tau := float64(k) * AnalogTapSpacing
+		return cmplx.Exp(complex(0, -2*math.Pi*(CarrierHz+f)*tau))
+	}
+	digitalBasis := func(f float64, m int) complex128 {
+		return cmplx.Exp(complex(0, -2*math.Pi*f*float64(m)/PreFilterRate))
+	}
+
+	for iter := 0; iter < 12; iter++ {
+		// Stage 1: fit analog gains (non-negative reals) to
+		// desired/Hp per frequency, weighted by |Hp|.
+		A := make([][]float64, 2*n)
+		b := make([]float64, 2*n)
+		for i, f := range freqs {
+			hp := impl.DigitalResponse(f)
+			A[i] = make([]float64, AnalogTaps)
+			A[n+i] = make([]float64, AnalogTaps)
+			t := desired[i]
+			for k := 0; k < AnalogTaps; k++ {
+				phi := analogBasis(f, k) * hp
+				A[i][k] = real(phi)
+				A[n+i][k] = imag(phi)
+			}
+			b[i] = real(t)
+			b[n+i] = imag(t)
+		}
+		if g, ok := linalg.NNLS(A, b, 1e-9); ok {
+			copy(impl.AnalogGains, g)
+		}
+		// Stage 2: fit digital taps (complex LS) to desired/Ha.
+		M := linalg.NewMatrix(n, nTaps)
+		rb := make([]complex128, n)
+		for i, f := range freqs {
+			ha := impl.AnalogResponse(f)
+			rb[i] = desired[i]
+			for m := 0; m < nTaps; m++ {
+				M.Set(i, m, digitalBasis(f, m)*ha)
+			}
+		}
+		if sol, err := linalg.LeastSquares(M, rb, 1e-12); err == nil {
+			copy(impl.DigitalTaps, sol)
+		}
+	}
+	// Fit quality.
+	var sig, res float64
+	for i, f := range freqs {
+		d := desired[i]
+		r := d - impl.Response(f)
+		sig += absSq(d)
+		res += absSq(r)
+	}
+	if sig > 0 && res > 0 {
+		impl.FitErrorDB = 10 * math.Log10(res/sig)
+	} else if res == 0 {
+		impl.FitErrorDB = math.Inf(-1)
+	}
+	return impl
+}
+
+// ApplyImplementation returns the per-subcarrier response of the
+// synthesized filter at the given carriers — the Hc actually delivered,
+// for plugging into EffectiveSISO/DestSNRdB in place of the ideal filter.
+func (fi *FilterImpl) ApplyImplementation(carriers []int, nfft int, sampleRate float64) []complex128 {
+	out := make([]complex128, len(carriers))
+	for i, k := range carriers {
+		out[i] = fi.Response(float64(k) * sampleRate / float64(nfft))
+	}
+	return out
+}

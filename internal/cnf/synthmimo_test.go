@@ -1,0 +1,118 @@
+package cnf
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"fastforward/internal/channel"
+	"fastforward/internal/linalg"
+	"fastforward/internal/ofdm"
+	"fastforward/internal/phyrate"
+	"fastforward/internal/rng"
+)
+
+func mimoCarrierSet() []int {
+	carriers := make([]int, 0, 13)
+	for k := -26; k <= 26; k += 4 {
+		if k != 0 {
+			carriers = append(carriers, k)
+		}
+	}
+	return carriers
+}
+
+func TestSynthesizeMIMOShape(t *testing.T) {
+	src := rng.New(1)
+	carriers := mimoCarrierSet()
+	Hsd, Hsr, Hrd := mimoChannels(src, len(carriers), 2, 1e-8, 1e-6, 1e-7)
+	FA := DesiredMIMO(Hsd, Hsr, Hrd, 50, src)
+	impl := SynthesizeMIMO(FA, carriers, 64, 20e6)
+	if len(impl.Pairs) != 2 || len(impl.Pairs[0]) != 2 {
+		t.Fatal("expected a 2x2 filter matrix")
+	}
+	got := impl.ApplyImplementation(carriers, 64, 20e6)
+	if len(got) != len(carriers) {
+		t.Fatal("implementation response length wrong")
+	}
+	// Latency within the CP budget.
+	if l := impl.LatencyS(); l > 50e-9 {
+		t.Errorf("MIMO filter latency %v exceeds the 50 ns pre-filter budget", l)
+	}
+}
+
+func TestSynthesizeMIMOPreservesRankExpansion(t *testing.T) {
+	// The implemented (constrained) filter must still restore the second
+	// stream of a pinhole channel — fidelity loss should not undo the
+	// paper's headline MIMO mechanism.
+	src := rng.New(2)
+	carriers := mimoCarrierSet()
+	pin := channel.NewPinhole(src, 2, 2, 1, 0.5, 1e-8)
+	sr := channel.NewRichScattering(src, 2, 2, 2, 0.5, 1e-6)
+	rd := channel.NewRichScattering(src, 2, 2, 2, 0.5, 1e-7)
+	Hsd := make([]*linalg.Matrix, len(carriers))
+	Hsr := make([]*linalg.Matrix, len(carriers))
+	Hrd := make([]*linalg.Matrix, len(carriers))
+	for i, k := range carriers {
+		Hsd[i] = pin.FrequencyResponse(k, 64)
+		Hsr[i] = sr.FrequencyResponse(k, 64)
+		Hrd[i] = rd.FrequencyResponse(k, 64)
+	}
+	FA := DesiredMIMO(Hsd, Hsr, Hrd, 55, src)
+	impl := SynthesizeMIMO(FA, carriers, 64, 20e6)
+	FAimpl := impl.ApplyImplementation(carriers, 64, 20e6)
+
+	idealEff := EffectiveMIMO(Hsd, Hsr, Hrd, FA)
+	implEff := EffectiveMIMO(Hsd, Hsr, Hrd, FAimpl)
+
+	txMW, n0 := 1.0, 1e-9
+	params := ofdm.Default20MHz()
+	ideal := phyrate.MIMORateMbps(params, idealEff, nil, txMW, n0)
+	got := phyrate.MIMORateMbps(params, implEff, nil, txMW, n0)
+	if got.UsableStreams < 2 {
+		t.Errorf("implemented filter lost the second stream (usable=%d)", got.UsableStreams)
+	}
+	if got.RateMbps < 0.7*ideal.RateMbps {
+		t.Errorf("implemented rate %v too far below ideal %v", got.RateMbps, ideal.RateMbps)
+	}
+}
+
+func TestSynthesizeMIMOFitQuality(t *testing.T) {
+	// Physically smooth channels (tapped delay lines): the desired filter
+	// varies smoothly in frequency and the short cascade can track it. An
+	// i.i.d.-per-subcarrier channel would be unfittable by construction.
+	src := rng.New(3)
+	carriers := mimoCarrierSet()
+	sd := channel.NewRichScattering(src, 2, 2, 2, 0.5, 1e-8)
+	sr := channel.NewRichScattering(src, 2, 2, 2, 0.5, 1e-6)
+	rd := channel.NewRichScattering(src, 2, 2, 2, 0.5, 1e-7)
+	Hsd := make([]*linalg.Matrix, len(carriers))
+	Hsr := make([]*linalg.Matrix, len(carriers))
+	Hrd := make([]*linalg.Matrix, len(carriers))
+	for i, k := range carriers {
+		Hsd[i] = sd.FrequencyResponse(k, 64)
+		Hsr[i] = sr.FrequencyResponse(k, 64)
+		Hrd[i] = rd.FrequencyResponse(k, 64)
+	}
+	FA := DesiredMIMO(Hsd, Hsr, Hrd, 50, src)
+	impl := SynthesizeMIMO(FA, carriers, 64, 20e6)
+	if w := impl.WorstFitErrorDB(); w > -3 {
+		t.Errorf("worst pair fit %v dB too poor", w)
+	}
+	// Implemented responses track the desired ones.
+	got := impl.ApplyImplementation(carriers, 64, 20e6)
+	var sig, res float64
+	for s := range FA {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				d := FA[s].At(i, j)
+				r := d - got[s].At(i, j)
+				sig += real(d)*real(d) + imag(d)*imag(d)
+				res += real(r)*real(r) + imag(r)*imag(r)
+			}
+		}
+	}
+	if res > sig/2 {
+		t.Errorf("aggregate implementation error too large: %v vs %v", res, sig)
+	}
+	_ = cmplx.Abs
+}

@@ -1,0 +1,324 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(n int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(2))
+	}
+	return b
+}
+
+// hardToSoft converts hard bits to strong LLRs.
+func hardToSoft(bits []byte) []float64 {
+	soft := make([]float64, len(bits))
+	for i, b := range bits {
+		if b == 1 {
+			soft[i] = 4
+		} else {
+			soft[i] = -4
+		}
+	}
+	return soft
+}
+
+func addTail(bits []byte) []byte {
+	return append(append([]byte{}, bits...), make([]byte, 6)...)
+}
+
+func TestConvEncodeKnownVector(t *testing.T) {
+	// The all-zeros input produces all-zeros output (linear code).
+	out := ConvEncode(make([]byte, 10))
+	for _, b := range out {
+		if b != 0 {
+			t.Fatal("all-zero input must give all-zero output")
+		}
+	}
+	// A single 1 produces the generator impulse response 133/171 (octal).
+	out = ConvEncode([]byte{1, 0, 0, 0, 0, 0, 0})
+	// g0 = 133 octal = 1011011 binary: taps at delays 0,2,3,5,6.
+	// g1 = 171 octal = 1111001 binary: taps at delays 0,1,2,3,6.
+	wantA := []byte{1, 0, 1, 1, 0, 1, 1}
+	wantB := []byte{1, 1, 1, 1, 0, 0, 1}
+	for i := 0; i < 7; i++ {
+		if out[2*i] != wantA[i] || out[2*i+1] != wantB[i] {
+			t.Fatalf("impulse response wrong at %d: got (%d,%d) want (%d,%d)",
+				i, out[2*i], out[2*i+1], wantA[i], wantB[i])
+		}
+	}
+}
+
+func TestViterbiCleanDecode(t *testing.T) {
+	data := randBits(200, 1)
+	padded := addTail(data)
+	coded := ConvEncode(padded)
+	dec := ViterbiDecode(hardToSoft(coded), len(padded), true)
+	for i := range data {
+		if dec[i] != data[i] {
+			t.Fatalf("clean Viterbi decode failed at bit %d", i)
+		}
+	}
+}
+
+func TestViterbiCorrectsErrors(t *testing.T) {
+	data := randBits(300, 2)
+	padded := addTail(data)
+	coded := ConvEncode(padded)
+	soft := hardToSoft(coded)
+	// Flip ~4% of coded bits, spread out (free distance is 10: isolated
+	// errors well apart are always correctable).
+	r := rand.New(rand.NewSource(3))
+	flips := 0
+	for i := 0; i < len(soft); i += 25 {
+		j := i + r.Intn(10)
+		if j < len(soft) {
+			soft[j] = -soft[j]
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("test broken: no flips")
+	}
+	dec := ViterbiDecode(soft, len(padded), true)
+	for i := range data {
+		if dec[i] != data[i] {
+			t.Fatalf("Viterbi failed to correct %d spread errors (bit %d)", flips, i)
+		}
+	}
+}
+
+func TestViterbiErasures(t *testing.T) {
+	// Zero-LLR erasures (as produced by depuncturing) must be tolerated.
+	data := randBits(120, 4)
+	padded := addTail(data)
+	coded := ConvEncode(padded)
+	soft := hardToSoft(coded)
+	for i := 3; i < len(soft); i += 6 {
+		soft[i] = 0
+	}
+	dec := ViterbiDecode(soft, len(padded), true)
+	for i := range data {
+		if dec[i] != data[i] {
+			t.Fatalf("Viterbi failed with erasures at bit %d", i)
+		}
+	}
+}
+
+func TestPunctureRates(t *testing.T) {
+	// Verify output lengths match the nominal rates.
+	nData := 120 // divisible by 2,3,5
+	coded := ConvEncode(randBits(nData, 5))
+	for _, r := range []Rate{Rate1_2, Rate2_3, Rate3_4, Rate5_6} {
+		p := Puncture(coded, r)
+		want := int(float64(nData) / r.Fraction())
+		if len(p) != want {
+			t.Errorf("rate %v: punctured length %d, want %d", r, len(p), want)
+		}
+	}
+}
+
+func TestPuncturedRoundTrip(t *testing.T) {
+	for _, r := range []Rate{Rate1_2, Rate2_3, Rate3_4, Rate5_6} {
+		data := randBits(240, 6)
+		padded := addTail(data)
+		coded := EncodePunctured(padded, r)
+		dec := DecodePunctured(hardToSoft(coded), r, len(padded), true)
+		for i := range data {
+			if dec[i] != data[i] {
+				t.Fatalf("rate %v: punctured roundtrip failed at bit %d", r, i)
+			}
+		}
+	}
+}
+
+func TestPuncturedErrorCorrection(t *testing.T) {
+	// Even at rate 3/4 a few well-separated errors must be correctable.
+	data := randBits(300, 7)
+	padded := addTail(data)
+	coded := EncodePunctured(padded, Rate3_4)
+	soft := hardToSoft(coded)
+	for _, idx := range []int{20, 120, 260, 350} {
+		if idx < len(soft) {
+			soft[idx] = -soft[idx]
+		}
+	}
+	dec := DecodePunctured(soft, Rate3_4, len(padded), true)
+	for i := range data {
+		if dec[i] != data[i] {
+			t.Fatalf("rate 3/4 failed to correct isolated errors at bit %d", i)
+		}
+	}
+}
+
+func TestScrambleInvolution(t *testing.T) {
+	bits := randBits(500, 8)
+	s := Scramble(bits, 93)
+	d := Scramble(s, 93)
+	for i := range bits {
+		if d[i] != bits[i] {
+			t.Fatal("scramble twice must be identity")
+		}
+	}
+	// Scrambling actually changes the data.
+	same := 0
+	for i := range bits {
+		if s[i] == bits[i] {
+			same++
+		}
+	}
+	if same == len(bits) {
+		t.Error("scrambler did nothing")
+	}
+}
+
+func TestScrambleZeroSeedHandled(t *testing.T) {
+	bits := randBits(64, 9)
+	s := Scramble(bits, 0) // must not lock up in all-zero state
+	diff := 0
+	for i := range bits {
+		if s[i] != bits[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("zero seed should be remapped, not produce identity")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	// 20MHz OFDM: 48 or 52 data subcarriers; test several nBPSC values.
+	cases := []struct{ nCBPS, nBPSC int }{
+		{48, 1}, {96, 2}, {192, 4}, {288, 6}, {208, 4}, {312, 6}, {416, 8},
+	}
+	for _, c := range cases {
+		bits := randBits(c.nCBPS, int64(c.nCBPS))
+		il := Interleave(bits, c.nCBPS, c.nBPSC)
+		de := Deinterleave(il, c.nCBPS, c.nBPSC)
+		for i := range bits {
+			if de[i] != bits[i] {
+				t.Fatalf("nCBPS=%d nBPSC=%d roundtrip failed at %d", c.nCBPS, c.nBPSC, i)
+			}
+		}
+		// Interleaving must be a permutation (all positions hit).
+		seen := make([]bool, c.nCBPS)
+		mark := make([]byte, c.nCBPS)
+		for i := range mark {
+			mark[i] = byte(i % 2)
+		}
+		perm := Interleave(mark, c.nCBPS, c.nBPSC)
+		ones := 0
+		for _, v := range perm {
+			ones += int(v)
+		}
+		wantOnes := 0
+		for _, v := range mark {
+			wantOnes += int(v)
+		}
+		if ones != wantOnes {
+			t.Fatalf("interleave is not a permutation for nCBPS=%d", c.nCBPS)
+		}
+		_ = seen
+	}
+}
+
+func TestDeinterleaveSoftMatchesHard(t *testing.T) {
+	const nCBPS, nBPSC = 192, 4
+	bits := randBits(nCBPS, 12)
+	il := Interleave(bits, nCBPS, nBPSC)
+	soft := make([]float64, nCBPS)
+	for i, b := range il {
+		if b == 1 {
+			soft[i] = 1
+		} else {
+			soft[i] = -1
+		}
+	}
+	deSoft := DeinterleaveSoft(soft, nCBPS, nBPSC)
+	for i, b := range bits {
+		got := byte(0)
+		if deSoft[i] > 0 {
+			got = 1
+		}
+		if got != b {
+			t.Fatalf("soft deinterleave mismatch at %d", i)
+		}
+	}
+}
+
+func TestQuickCodeLinearity(t *testing.T) {
+	// Convolutional codes are linear: enc(a) XOR enc(b) == enc(a XOR b).
+	f := func(raw1, raw2 []byte) bool {
+		n := len(raw1)
+		if len(raw2) < n {
+			n = len(raw2)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 64 {
+			n = 64
+		}
+		a := make([]byte, n)
+		b := make([]byte, n)
+		x := make([]byte, n)
+		for i := 0; i < n; i++ {
+			a[i] = raw1[i] & 1
+			b[i] = raw2[i] & 1
+			x[i] = a[i] ^ b[i]
+		}
+		ea, eb, ex := ConvEncode(a), ConvEncode(b), ConvEncode(x)
+		for i := range ex {
+			if ea[i]^eb[i] != ex[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickViterbiRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := len(raw)
+		if n > 128 {
+			n = 128
+		}
+		data := make([]byte, n)
+		for i := 0; i < n; i++ {
+			data[i] = raw[i] & 1
+		}
+		padded := addTail(data)
+		dec := ViterbiDecode(hardToSoft(ConvEncode(padded)), len(padded), true)
+		for i := range data {
+			if dec[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkViterbi1000Bits(b *testing.B) {
+	data := randBits(1000, 1)
+	padded := addTail(data)
+	soft := hardToSoft(ConvEncode(padded))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ViterbiDecode(soft, len(padded), true)
+	}
+}

@@ -1,0 +1,247 @@
+// Package coding implements the 802.11 OFDM PHY bit-level processing chain:
+// the self-synchronizing scrambler, the industry-standard rate-1/2 K=7
+// convolutional code (generators 133/171 octal) with puncturing to rates
+// 2/3, 3/4 and 5/6, a soft-decision Viterbi decoder, and the per-symbol
+// block interleaver. The FastForward relay never decodes (it is a Layer-1
+// device) — this chain exists so the simulated clients can measure real
+// packet error rates over relayed channels.
+package coding
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constraint length and generator polynomials of the 802.11 code.
+const (
+	constraintLen = 7
+	numStates     = 1 << (constraintLen - 1) // 64
+	genA          = 0o133
+	genB          = 0o171
+)
+
+// parity returns the parity bit of v.
+func parity(v int) byte {
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return byte(v & 1)
+}
+
+// ConvEncode encodes bits with the rate-1/2 K=7 convolutional code. The
+// encoder starts in the all-zero state; callers append 6 tail bits if they
+// need termination (wifi frames do). Output has 2 bits per input bit:
+// the generator-A bit then the generator-B bit.
+func ConvEncode(bits []byte) []byte {
+	out := make([]byte, 0, 2*len(bits))
+	state := 0
+	for _, b := range bits {
+		reg := state | int(b&1)<<(constraintLen-1)
+		out = append(out, parity(reg&genA), parity(reg&genB))
+		state = reg >> 1
+	}
+	return out
+}
+
+// Rate identifies a puncturing pattern / code rate.
+type Rate int
+
+// Code rates supported by the 802.11 PHY.
+const (
+	Rate1_2 Rate = iota
+	Rate2_3
+	Rate3_4
+	Rate5_6
+)
+
+// String names the rate.
+func (r Rate) String() string {
+	switch r {
+	case Rate1_2:
+		return "1/2"
+	case Rate2_3:
+		return "2/3"
+	case Rate3_4:
+		return "3/4"
+	case Rate5_6:
+		return "5/6"
+	}
+	return fmt.Sprintf("Rate(%d)", int(r))
+}
+
+// Fraction returns the code rate as a float (data bits / coded bits).
+func (r Rate) Fraction() float64 {
+	switch r {
+	case Rate1_2:
+		return 0.5
+	case Rate2_3:
+		return 2.0 / 3
+	case Rate3_4:
+		return 0.75
+	case Rate5_6:
+		return 5.0 / 6
+	}
+	panic("coding: unknown rate")
+}
+
+// puncturePattern returns the keep-mask over one puncturing period of the
+// rate-1/2 mother code output (A0 B0 A1 B1 ...). true = transmit.
+func (r Rate) puncturePattern() []bool {
+	switch r {
+	case Rate1_2:
+		return []bool{true, true}
+	case Rate2_3:
+		// 802.11: period 2 input bits -> keep A0 B0 A1 (drop B1)
+		return []bool{true, true, true, false}
+	case Rate3_4:
+		// period 3 input bits -> keep A0 B0 A1 B2 (drop B1 A2)
+		return []bool{true, true, true, false, false, true}
+	case Rate5_6:
+		// period 5 input bits -> A0 B0 A1 B2 A3 B4
+		return []bool{true, true, true, false, false, true, true, false, false, true}
+	}
+	panic("coding: unknown rate")
+}
+
+// Puncture removes coded bits according to the rate's pattern.
+func Puncture(coded []byte, r Rate) []byte {
+	pat := r.puncturePattern()
+	out := make([]byte, 0, len(coded))
+	for i, b := range coded {
+		if pat[i%len(pat)] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Depuncture re-inserts neutral soft values (0 = erased) where bits were
+// punctured, returning soft values aligned to the mother-code output.
+// codedLen is the mother-code output length (2× the number of data bits).
+func Depuncture(soft []float64, r Rate, codedLen int) []float64 {
+	pat := r.puncturePattern()
+	out := make([]float64, codedLen)
+	si := 0
+	for i := 0; i < codedLen; i++ {
+		if pat[i%len(pat)] {
+			if si < len(soft) {
+				out[i] = soft[si]
+				si++
+			}
+		}
+	}
+	return out
+}
+
+// ViterbiDecode performs soft-decision maximum-likelihood decoding of the
+// rate-1/2 mother code. soft holds one LLR per coded bit (positive = bit 1),
+// in A,B order; its length must be even. nBits is the number of data bits to
+// recover (including any tail bits the caller added). The trellis is assumed
+// to start in state 0; if terminated is true the path is traced back from
+// state 0 (use with 6 zero tail bits), otherwise from the best end state.
+func ViterbiDecode(soft []float64, nBits int, terminated bool) []byte {
+	if len(soft) < 2*nBits {
+		padded := make([]float64, 2*nBits)
+		copy(padded, soft)
+		soft = padded
+	}
+	// Precompute per-state output bits for input 0 and 1.
+	type trans struct {
+		next int
+		outA byte
+		outB byte
+	}
+	table := make([][2]trans, numStates)
+	for s := 0; s < numStates; s++ {
+		for in := 0; in <= 1; in++ {
+			reg := s | in<<(constraintLen-1)
+			table[s][in] = trans{
+				next: reg >> 1,
+				outA: parity(reg & genA),
+				outB: parity(reg & genB),
+			}
+		}
+	}
+
+	neg := math.Inf(-1)
+	metric := make([]float64, numStates)
+	for i := range metric {
+		metric[i] = neg
+	}
+	metric[0] = 0
+	// prevState[t][state] packs the surviving predecessor state (low 7 bits)
+	// and the input bit (high bit) for the transition into state at time t.
+	prevState := make([][]uint8, nBits)
+	newMetric := make([]float64, numStates)
+
+	for t := 0; t < nBits; t++ {
+		la := soft[2*t]
+		lb := soft[2*t+1]
+		for i := range newMetric {
+			newMetric[i] = neg
+		}
+		row := make([]uint8, numStates)
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if math.IsInf(m, -1) {
+				continue
+			}
+			for in := 0; in <= 1; in++ {
+				tr := table[s][in]
+				// Branch metric: correlation of expected bits with LLRs.
+				bm := m
+				if tr.outA == 1 {
+					bm += la
+				} else {
+					bm -= la
+				}
+				if tr.outB == 1 {
+					bm += lb
+				} else {
+					bm -= lb
+				}
+				if bm > newMetric[tr.next] {
+					newMetric[tr.next] = bm
+					row[tr.next] = uint8(s) | uint8(in)<<7
+				}
+			}
+		}
+		prevState[t] = row
+		copy(metric, newMetric)
+	}
+
+	// Traceback.
+	end := 0
+	if !terminated {
+		best := neg
+		for s, m := range metric {
+			if m > best {
+				best = m
+				end = s
+			}
+		}
+	}
+	bits := make([]byte, nBits)
+	state := end
+	for t := nBits - 1; t >= 0; t-- {
+		packed := prevState[t][state]
+		bits[t] = byte(packed >> 7)
+		state = int(packed & 0x7f)
+	}
+	return bits
+}
+
+// DecodePunctured is the full soft decode path: depuncture then Viterbi.
+// nBits includes tail bits; terminated should be true for 802.11 frames.
+func DecodePunctured(soft []float64, r Rate, nBits int, terminated bool) []byte {
+	full := Depuncture(soft, r, 2*nBits)
+	return ViterbiDecode(full, nBits, terminated)
+}
+
+// EncodePunctured is the full encode path: convolutional encode then
+// puncture to rate r.
+func EncodePunctured(bits []byte, r Rate) []byte {
+	return Puncture(ConvEncode(bits), r)
+}

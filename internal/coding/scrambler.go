@@ -1,0 +1,94 @@
+package coding
+
+// Scramble applies the 802.11 frame-synchronous scrambler with the
+// polynomial x^7 + x^4 + 1, starting from the 7-bit seed (1..127).
+// Scrambling is its own inverse, so the same function descrambles.
+func Scramble(bits []byte, seed byte) []byte {
+	state := int(seed & 0x7f)
+	if state == 0 {
+		state = 0x7f // the standard forbids the all-zero state
+	}
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		fb := (state >> 6 & 1) ^ (state >> 3 & 1)
+		out[i] = b ^ byte(fb)
+		state = (state<<1 | fb) & 0x7f
+	}
+	return out
+}
+
+// permTable builds the interleaver permutation for one OFDM symbol:
+// perm[k] = j means input coded bit k lands at position j. It applies the
+// standard two permutations: the first spreads adjacent coded bits across
+// nonadjacent subcarriers (NCOL columns), the second rotates bit positions
+// within a subcarrier so long runs of low-reliability constellation bits
+// are avoided. NCOL is 16 for 48-data-subcarrier symbols (802.11a/g) and 13
+// for 52-data-subcarrier symbols (802.11n 20 MHz); the a/g formula is not a
+// bijection at 52 subcarriers.
+func permTable(nCBPS, nBPSC int) []int {
+	nSubc := nCBPS / nBPSC
+	nCol := 16
+	if nSubc%16 != 0 {
+		if nSubc%13 == 0 {
+			nCol = 13
+		} else {
+			panic("coding: unsupported subcarrier count for interleaver")
+		}
+	}
+	s := nBPSC / 2
+	if s < 1 {
+		s = 1
+	}
+	perm := make([]int, nCBPS)
+	seen := make([]bool, nCBPS)
+	for k := 0; k < nCBPS; k++ {
+		i := (nCBPS/nCol)*(k%nCol) + k/nCol
+		j := s*(i/s) + (i+nCBPS-(nCol*i)/nCBPS)%s
+		perm[k] = j
+		if seen[j] {
+			panic("coding: interleaver permutation collision")
+		}
+		seen[j] = true
+	}
+	return perm
+}
+
+// Interleave applies the per-OFDM-symbol block interleaver to nCBPS coded
+// bits with nBPSC bits per subcarrier. The input length must equal nCBPS.
+func Interleave(bits []byte, nCBPS, nBPSC int) []byte {
+	if len(bits) != nCBPS {
+		panic("coding: Interleave input must be one OFDM symbol")
+	}
+	perm := permTable(nCBPS, nBPSC)
+	out := make([]byte, nCBPS)
+	for k, j := range perm {
+		out[j] = bits[k]
+	}
+	return out
+}
+
+// Deinterleave inverts Interleave.
+func Deinterleave(bits []byte, nCBPS, nBPSC int) []byte {
+	if len(bits) != nCBPS {
+		panic("coding: Deinterleave input must be one OFDM symbol")
+	}
+	perm := permTable(nCBPS, nBPSC)
+	out := make([]byte, nCBPS)
+	for k, j := range perm {
+		out[k] = bits[j]
+	}
+	return out
+}
+
+// DeinterleaveSoft inverts Interleave on soft values (LLRs).
+func DeinterleaveSoft(soft []float64, nCBPS, nBPSC int) []float64 {
+	if len(soft) != nCBPS {
+		panic("coding: DeinterleaveSoft input must be one OFDM symbol")
+	}
+	perm := permTable(nCBPS, nBPSC)
+	out := make([]float64, nCBPS)
+	for k, j := range perm {
+		out[k] = soft[j]
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package dsp
+
+// FIR is a streaming causal finite-impulse-response filter. It keeps its own
+// delay line so that samples can be pushed one at a time, which is how the
+// FastForward relay processes IQ streams: output y[n] = sum_k h[k]·x[n-k].
+//
+// The zero-delay property matters: tap 0 multiplies the *current* input, so a
+// FIR with h[0] != 0 contributes to the output in the same sample instant it
+// receives the input. This models the paper's causal cancellation filter,
+// which adds no buffering delay (Sec 3.3, Fig 9a).
+type FIR struct {
+	taps []complex128
+	// circular delay line: line[pos] is the most recent input.
+	line []complex128
+	pos  int
+}
+
+// NewFIR creates a streaming FIR with the given taps. The taps slice is
+// copied. A nil or empty taps slice yields an all-zero filter with one tap.
+func NewFIR(taps []complex128) *FIR {
+	if len(taps) == 0 {
+		taps = []complex128{0}
+	}
+	t := make([]complex128, len(taps))
+	copy(t, taps)
+	return &FIR{
+		taps: t,
+		line: make([]complex128, len(taps)),
+	}
+}
+
+// Taps returns a copy of the filter taps.
+func (f *FIR) Taps() []complex128 {
+	t := make([]complex128, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
+// NumTaps returns the number of filter taps.
+func (f *FIR) NumTaps() int { return len(f.taps) }
+
+// SetTaps replaces the filter coefficients without clearing filter state.
+// The new taps must have the same length as the old ones.
+func (f *FIR) SetTaps(taps []complex128) {
+	if len(taps) != len(f.taps) {
+		panic("dsp: SetTaps length mismatch")
+	}
+	copy(f.taps, taps)
+}
+
+// Push feeds one input sample and returns the corresponding output sample.
+func (f *FIR) Push(x complex128) complex128 {
+	f.pos--
+	if f.pos < 0 {
+		f.pos = len(f.line) - 1
+	}
+	f.line[f.pos] = x
+	var acc complex128
+	idx := f.pos
+	for _, h := range f.taps {
+		acc += h * f.line[idx]
+		idx++
+		if idx == len(f.line) {
+			idx = 0
+		}
+	}
+	return acc
+}
+
+// Reset clears the delay line.
+func (f *FIR) Reset() {
+	for i := range f.line {
+		f.line[i] = 0
+	}
+	f.pos = 0
+}
+
+// Process filters a whole block, sample by sample, preserving state across
+// calls.
+func (f *FIR) Process(x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	for i, v := range x {
+		y[i] = f.Push(v)
+	}
+	return y
+}
+
+// DelayLine is a streaming integer-sample delay: y[n] = x[n-d]. A delay of 0
+// passes samples straight through. It models fixed pipeline latency such as
+// ADC/DAC delays in the relay.
+type DelayLine struct {
+	buf []complex128
+	pos int
+}
+
+// NewDelayLine creates a streaming delay of d samples (d >= 0).
+func NewDelayLine(d int) *DelayLine {
+	if d < 0 {
+		panic("dsp: negative delay")
+	}
+	return &DelayLine{buf: make([]complex128, d)}
+}
+
+// Delay returns the configured delay in samples.
+func (d *DelayLine) Delay() int { return len(d.buf) }
+
+// Push feeds one sample and returns the sample delayed by the configured
+// number of samples.
+func (d *DelayLine) Push(x complex128) complex128 {
+	if len(d.buf) == 0 {
+		return x
+	}
+	y := d.buf[d.pos]
+	d.buf[d.pos] = x
+	d.pos++
+	if d.pos == len(d.buf) {
+		d.pos = 0
+	}
+	return y
+}
+
+// Reset clears the delay buffer.
+func (d *DelayLine) Reset() {
+	for i := range d.buf {
+		d.buf[i] = 0
+	}
+	d.pos = 0
+}

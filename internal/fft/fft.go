@@ -1,0 +1,141 @@
+// Package fft implements the fast Fourier transform used by the OFDM
+// modem and frequency-domain channel analysis. It supports power-of-two
+// lengths with an iterative radix-2 algorithm and arbitrary lengths via
+// Bluestein's chirp-z transform.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Forward computes the discrete Fourier transform of x and returns a new
+// slice: X[k] = sum_n x[n]·exp(-j2πkn/N).
+func Forward(x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	copy(y, x)
+	transform(y, false)
+	return y
+}
+
+// Inverse computes the inverse DFT of X (with 1/N normalization):
+// x[n] = (1/N)·sum_k X[k]·exp(+j2πkn/N).
+func Inverse(X []complex128) []complex128 {
+	y := make([]complex128, len(X))
+	copy(y, X)
+	transform(y, true)
+	n := complex(float64(len(y)), 0)
+	for i := range y {
+		y[i] /= n
+	}
+	return y
+}
+
+// transform performs an in-place DFT (inverse=false) or unnormalized inverse
+// DFT (inverse=true).
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform using
+// a power-of-two convolution.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[i] = exp(sign·jπ·i²/n)
+	chirp := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		// i*i may overflow for huge n; modulo 2n keeps the angle exact.
+		k := (int64(i) * int64(i)) % int64(2*n)
+		chirp[i] = cmplx.Exp(complex(0, sign*math.Pi*float64(k)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for i := 0; i < n; i++ {
+		a[i] = x[i] * chirp[i]
+		b[i] = cmplx.Conj(chirp[i])
+	}
+	for i := 1; i < n; i++ {
+		b[m-i] = cmplx.Conj(chirp[i])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for i := 0; i < n; i++ {
+		x[i] = a[i] * scale * chirp[i]
+	}
+}
+
+// Shift rearranges FFT output so the zero-frequency bin is centered
+// (equivalent to fftshift). For odd lengths the extra bin lands in the
+// second half, matching the usual convention.
+func Shift(x []complex128) []complex128 {
+	n := len(x)
+	y := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(y, x[half:])
+	copy(y[n-half:], x[:half])
+	return y
+}
+
+// FrequencyResponse evaluates the frequency response of FIR taps h at the
+// normalized frequency f (cycles per sample, -0.5..0.5):
+// H(f) = sum_k h[k]·exp(-j2πfk).
+func FrequencyResponse(h []complex128, f float64) complex128 {
+	var acc complex128
+	for k, v := range h {
+		acc += v * cmplx.Exp(complex(0, -2*math.Pi*f*float64(k)))
+	}
+	return acc
+}

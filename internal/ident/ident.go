@@ -1,0 +1,228 @@
+// Package ident implements FastForward's source/destination
+// identification (Sec 6): the relay must pick the right constructive
+// filter *before* the PHY header arrives, so it cannot wait for the MAC
+// header. Downlink: the AP prepends a per-client pseudo-random signature
+// (4 µs, repeated twice) that the relay detects by correlation. Uplink:
+// clients cannot be modified, so the relay fingerprints the known STF
+// preamble through each client's channel and classifies by
+// phase-compensated minimum distance against its channel database.
+package ident
+
+import (
+	"math"
+	"math/cmplx"
+
+	"fastforward/internal/dsp"
+)
+
+// PNSignature generates the deterministic per-client pseudo-random BPSK
+// signature: an m-sequence from a 10-bit LFSR seeded by the client ID,
+// mapped to ±1 samples. length is in samples (80 at 20 Msps for the 4 µs
+// signature); the transmitted signature is the sequence repeated twice
+// (Sec 6, Fig 19).
+func PNSignature(clientID, length int) []complex128 {
+	// Galois LFSR x^10 + x^7 + 1; seed mixed from the client ID, never 0.
+	state := uint16(clientID*2654435761+0x1d) & 0x3ff
+	if state == 0 {
+		state = 0x2aa
+	}
+	out := make([]complex128, length)
+	for i := range out {
+		bit := state & 1
+		state >>= 1
+		if bit == 1 {
+			state ^= 0x240 // taps at 10 and 7
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// SignatureWaveform returns the on-air downlink prefix: the signature
+// repeated twice, scaled to the given amplitude.
+func SignatureWaveform(clientID, length int, amplitude float64) []complex128 {
+	sig := PNSignature(clientID, length)
+	wave := make([]complex128, 0, 2*length)
+	wave = append(wave, sig...)
+	wave = append(wave, sig...)
+	dsp.ScaleInPlace(wave, amplitude)
+	return wave
+}
+
+// Detector matches incoming samples against a set of client signatures.
+type Detector struct {
+	sigLen int
+	ids    []int
+	sigs   [][]complex128
+	// Threshold is the minimum normalized correlation (0..1) to declare a
+	// match; the paper tunes this aggressively to keep false positives at
+	// zero.
+	Threshold float64
+}
+
+// NewDetector builds a correlation detector over the given client IDs.
+func NewDetector(clientIDs []int, sigLen int, threshold float64) *Detector {
+	d := &Detector{sigLen: sigLen, Threshold: threshold}
+	for _, id := range clientIDs {
+		d.ids = append(d.ids, id)
+		d.sigs = append(d.sigs, PNSignature(id, sigLen))
+	}
+	return d
+}
+
+// Detect scans rx for any client signature and returns the matched client
+// ID, the sample offset of the signature start and true; or (0,0,false).
+// The match uses normalized correlation so it is amplitude- and
+// channel-phase-invariant.
+func (d *Detector) Detect(rx []complex128) (clientID, offset int, ok bool) {
+	bestCorr := d.Threshold
+	found := false
+	for i, sig := range d.sigs {
+		idx, peak := dsp.NormalizedCorrelationPeak(rx, sig)
+		if idx < 0 {
+			continue
+		}
+		if peak > bestCorr {
+			bestCorr = peak
+			clientID = d.ids[i]
+			offset = idx
+			found = true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return clientID, offset, true
+}
+
+// Fingerprint is a channel fingerprint: the complex channel gains measured
+// on the pilot subcarriers of the STF (10 subcarriers in the paper).
+type Fingerprint []complex128
+
+// Distance returns the phase-compensated Euclidean distance between two
+// fingerprints: min over φ of ||a − e^{jφ}·b||, which equals
+// sqrt(||a||² + ||b||² − 2|⟨a,b⟩|). Phase compensation makes the metric
+// invariant to packet-to-packet carrier phase (Sec 6, Fig 20).
+func (a Fingerprint) Distance(b Fingerprint) float64 {
+	if len(a) != len(b) {
+		panic("ident: fingerprint length mismatch")
+	}
+	var ea, eb float64
+	var dot complex128
+	for i := range a {
+		ea += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+		eb += real(b[i])*real(b[i]) + imag(b[i])*imag(b[i])
+		dot += a[i] * cmplx.Conj(b[i])
+	}
+	v := ea + eb - 2*cmplx.Abs(dot)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Unit returns the fingerprint scaled to unit norm (nil for a zero
+// fingerprint). Comparing unit fingerprints makes the distance invariant
+// to path loss as well as carrier phase, so one threshold works across the
+// whole coverage area.
+func (a Fingerprint) Unit() Fingerprint {
+	var e float64
+	for i := range a {
+		e += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+	}
+	if e == 0 {
+		return nil
+	}
+	s := complex(1/math.Sqrt(e), 0)
+	out := make(Fingerprint, len(a))
+	for i := range a {
+		out[i] = a[i] * s
+	}
+	return out
+}
+
+// Classifier identifies uplink senders by fingerprint matching.
+type Classifier struct {
+	ids []int
+	db  []Fingerprint
+	// Threshold is the maximum accepted normalized distance. The
+	// "aggressive" setting of Fig 21 uses a small threshold: near-zero
+	// false positives at the cost of ~5% false negatives.
+	Threshold float64
+	// AmbiguityMargin rejects a match whose runner-up is within this
+	// distance of the best candidate — mistaking one client for another
+	// (a false positive) applies the wrong CNF filter and can hurt SNR,
+	// so ambiguous packets are better dropped (a harmless false
+	// negative). This is how the aggressive tuning reaches ~zero FP.
+	AmbiguityMargin float64
+}
+
+// Thresholds matching the two curves of Fig 21.
+const (
+	// AggressiveThreshold yields ≈zero false positives.
+	AggressiveThreshold = 0.25
+	// PassiveThreshold accepts more, trading false positives for fewer
+	// false negatives.
+	PassiveThreshold = 0.60
+)
+
+// NewClassifier builds a classifier from the relay's channel database.
+// The aggressive threshold enables ambiguity rejection; the passive one
+// accepts any in-threshold match.
+func NewClassifier(threshold float64) *Classifier {
+	c := &Classifier{Threshold: threshold}
+	if threshold <= AggressiveThreshold {
+		c.AmbiguityMargin = 0.15
+	}
+	return c
+}
+
+// Enroll records (or updates) a client's fingerprint (stored unit-
+// normalized).
+func (c *Classifier) Enroll(clientID int, fp Fingerprint) {
+	u := fp.Unit()
+	for i, id := range c.ids {
+		if id == clientID {
+			c.db[i] = u
+			return
+		}
+	}
+	c.ids = append(c.ids, clientID)
+	c.db = append(c.db, u)
+}
+
+// Classify returns the best-matching enrolled client and true, or
+// (0, false) if no client is within the threshold (a false negative when
+// the sender was enrolled — harmless, the relay just doesn't forward).
+// Distances are computed between unit-normalized fingerprints, so they
+// range in [0, 2] regardless of signal strength.
+func (c *Classifier) Classify(fp Fingerprint) (clientID int, ok bool) {
+	u := fp.Unit()
+	if u == nil {
+		return 0, false
+	}
+	best, second := math.Inf(1), math.Inf(1)
+	bestID := 0
+	for i, ref := range c.db {
+		if ref == nil {
+			continue
+		}
+		d := u.Distance(ref)
+		if d < best {
+			second = best
+			best = d
+			bestID = c.ids[i]
+		} else if d < second {
+			second = d
+		}
+	}
+	if best > c.Threshold {
+		return 0, false
+	}
+	if second-best < c.AmbiguityMargin {
+		return 0, false // ambiguous: drop rather than risk the wrong filter
+	}
+	return bestID, true
+}

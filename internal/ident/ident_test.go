@@ -1,0 +1,207 @@
+package ident
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fastforward/internal/channel"
+	"fastforward/internal/dsp"
+	"fastforward/internal/rng"
+	"fastforward/internal/stats"
+)
+
+func TestPNSignatureProperties(t *testing.T) {
+	sig := PNSignature(1, 80)
+	if len(sig) != 80 {
+		t.Fatal("length wrong")
+	}
+	// BPSK values only.
+	for _, v := range sig {
+		if v != 1 && v != -1 {
+			t.Fatalf("non-BPSK value %v", v)
+		}
+	}
+	// Deterministic per client.
+	again := PNSignature(1, 80)
+	for i := range sig {
+		if sig[i] != again[i] {
+			t.Fatal("signature not deterministic")
+		}
+	}
+	// Distinct clients get distinct, weakly-correlated sequences.
+	other := PNSignature(2, 80)
+	c := dsp.Dot(sig, other)
+	if cmplx.Abs(c)/80 > 0.35 {
+		t.Errorf("client signatures too correlated: %v", cmplx.Abs(c)/80)
+	}
+}
+
+func TestSignatureWaveformRepeatsTwice(t *testing.T) {
+	w := SignatureWaveform(3, 80, 2.0)
+	if len(w) != 160 {
+		t.Fatal("waveform length wrong")
+	}
+	for i := 0; i < 80; i++ {
+		if w[i] != w[80+i] {
+			t.Fatal("second repetition differs")
+		}
+	}
+	if cmplx.Abs(w[0]) != 2.0 {
+		t.Errorf("amplitude %v, want 2", cmplx.Abs(w[0]))
+	}
+}
+
+func TestDetectorFindsRightClient(t *testing.T) {
+	src := rng.New(1)
+	ids := []int{1, 2, 3, 4}
+	det := NewDetector(ids, 80, 0.6)
+	for _, want := range ids {
+		sig := PNSignature(want, 80)
+		// Channel: complex gain + delay + noise at 15 dB.
+		rx := make([]complex128, 50)
+		rx = append(rx, dsp.ScaleC(sig, 0.5i)...)
+		rx = append(rx, make([]complex128, 30)...)
+		rx = dsp.Add(rx, src.NoiseVector(len(rx), 0.25/dsp.Linear(15)))
+		got, off, ok := det.Detect(rx)
+		if !ok {
+			t.Fatalf("client %d not detected", want)
+		}
+		if got != want {
+			t.Fatalf("detected client %d, want %d", got, want)
+		}
+		if off < 48 || off > 52 {
+			t.Errorf("offset %d, want ~50", off)
+		}
+	}
+}
+
+func TestDetectorRejectsNoise(t *testing.T) {
+	src := rng.New(2)
+	det := NewDetector([]int{1, 2, 3, 4}, 80, 0.6)
+	misses := 0
+	for i := 0; i < 20; i++ {
+		rx := src.NoiseVector(400, 1)
+		if _, _, ok := det.Detect(rx); ok {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d/20 false detections on pure noise", misses)
+	}
+}
+
+func TestDetectorRejectsForeignSignature(t *testing.T) {
+	// A packet from a *different network's* client (unknown PN) must not
+	// match — the design requirement that FF only relays its own network.
+	src := rng.New(3)
+	det := NewDetector([]int{1, 2, 3}, 80, 0.6)
+	foreign := PNSignature(99, 80)
+	rx := dsp.Add(foreign, src.NoiseVector(80, 0.01))
+	if id, _, ok := det.Detect(rx); ok {
+		t.Errorf("foreign signature matched client %d", id)
+	}
+}
+
+func TestFingerprintDistancePhaseInvariant(t *testing.T) {
+	src := rng.New(4)
+	a := make(Fingerprint, 10)
+	for i := range a {
+		a[i] = src.ComplexGaussian(1)
+	}
+	b := make(Fingerprint, 10)
+	rot := cmplx.Exp(complex(0, 1.234))
+	for i := range b {
+		b[i] = a[i] * rot
+	}
+	if d := a.Distance(b); d > 1e-6 {
+		t.Errorf("phase-rotated copy should have zero distance, got %v", d)
+	}
+}
+
+func TestFingerprintDistanceDiscriminates(t *testing.T) {
+	src := rng.New(5)
+	a := make(Fingerprint, 10)
+	b := make(Fingerprint, 10)
+	for i := range a {
+		a[i] = src.ComplexGaussian(1)
+		b[i] = src.ComplexGaussian(1)
+	}
+	ua, ub := a.Unit(), b.Unit()
+	if d := ua.Distance(ub); d < 0.5 {
+		t.Errorf("independent fingerprints too close: %v", d)
+	}
+}
+
+func TestClassifierBasic(t *testing.T) {
+	src := rng.New(6)
+	cls := NewClassifier(AggressiveThreshold)
+	chans := make([][]complex128, 4)
+	carriers := stfCarriers(10)
+	for c := 0; c < 4; c++ {
+		ch := channel.NewRayleigh(src, 4, 0.5, 1)
+		chans[c] = ch.ResponseVector(carriers, 64)
+		cls.Enroll(c, Fingerprint(chans[c]))
+	}
+	// Clean re-measurement: classify correctly.
+	for c := 0; c < 4; c++ {
+		got, ok := cls.Classify(Fingerprint(chans[c]))
+		if !ok || got != c {
+			t.Fatalf("client %d misclassified as %d (ok=%v)", c, got, ok)
+		}
+	}
+	// Unknown channel: reject.
+	unknown := channel.NewRayleigh(src, 4, 0.5, 1).ResponseVector(carriers, 64)
+	if got, ok := cls.Classify(Fingerprint(unknown)); ok {
+		t.Errorf("unknown sender matched client %d", got)
+	}
+}
+
+func TestClassifierScaleInvariant(t *testing.T) {
+	src := rng.New(7)
+	cls := NewClassifier(AggressiveThreshold)
+	carriers := stfCarriers(10)
+	ch := channel.NewRayleigh(src, 4, 0.5, 1).ResponseVector(carriers, 64)
+	cls.Enroll(0, Fingerprint(ch))
+	// Same channel 40 dB weaker (client moved the TX power, or AGC).
+	weak := dsp.Scale(ch, 0.01)
+	got, ok := cls.Classify(Fingerprint(weak))
+	if !ok || got != 0 {
+		t.Errorf("scale variation broke classification (ok=%v id=%d)", ok, got)
+	}
+}
+
+func TestStudyAggressiveVsPassive(t *testing.T) {
+	// Fig 21's headline: the aggressive threshold has ~zero false
+	// positives with a ~5% false-negative rate; the passive threshold
+	// trades FPs for FNs.
+	src := rng.New(8)
+	cfg := DefaultStudyConfig(AggressiveThreshold)
+	cfg.NLocations = 20
+	cfg.PacketsPerClient = 150
+	agg := RunStudy(src, cfg)
+
+	src2 := rng.New(8)
+	cfgP := cfg
+	cfgP.Threshold = PassiveThreshold
+	pas := RunStudy(src2, cfgP)
+
+	aggFP := stats.NewCDF(agg.FalsePositivePct).Mean()
+	aggFN := stats.NewCDF(agg.FalseNegativePct).Mean()
+	pasFP := stats.NewCDF(pas.FalsePositivePct).Mean()
+	pasFN := stats.NewCDF(pas.FalseNegativePct).Mean()
+
+	if aggFP > 0.5 {
+		t.Errorf("aggressive FP rate %v%%, want ~0", aggFP)
+	}
+	if aggFN > 25 || aggFN < 0.1 {
+		t.Errorf("aggressive FN rate %v%%, want small but nonzero (~5%%)", aggFN)
+	}
+	if pasFN >= aggFN {
+		t.Errorf("passive FN (%v%%) should be below aggressive FN (%v%%)", pasFN, aggFN)
+	}
+	if pasFP < aggFP {
+		t.Errorf("passive FP (%v%%) should be >= aggressive FP (%v%%)", pasFP, aggFP)
+	}
+	_ = math.Inf // keep math import stable under edits
+}

@@ -1,0 +1,41 @@
+package ident
+
+// Selector ties identification to filter selection: the relay keeps one
+// constructive filter per client (Sec 6) and must pick the right one from
+// the downlink signature (or uplink fingerprint) *before* the PHY header
+// arrives. A packet that matches no client is not relayed at all — FF
+// "should only constructively relay the packets from its own network".
+type Selector[F any] struct {
+	det     *Detector
+	filters map[int]F
+}
+
+// NewSelector builds a selector over the network's client IDs with the
+// given signature length and correlation threshold.
+func NewSelector[F any](clientIDs []int, sigLen int, threshold float64) *Selector[F] {
+	return &Selector[F]{
+		det:     NewDetector(clientIDs, sigLen, threshold),
+		filters: make(map[int]F),
+	}
+}
+
+// SetFilter installs (or replaces) the constructive filter for a client.
+func (s *Selector[F]) SetFilter(clientID int, f F) {
+	s.filters[clientID] = f
+}
+
+// Select scans the start of a packet for a client signature and returns
+// the client's filter. ok is false when no signature matches or the
+// matched client has no installed filter — the relay then stays silent.
+func (s *Selector[F]) Select(rx []complex128) (clientID int, filter F, ok bool) {
+	var zero F
+	id, _, found := s.det.Detect(rx)
+	if !found {
+		return 0, zero, false
+	}
+	f, have := s.filters[id]
+	if !have {
+		return id, zero, false
+	}
+	return id, f, true
+}

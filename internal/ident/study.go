@@ -1,0 +1,149 @@
+package ident
+
+import (
+	"math"
+
+	"fastforward/internal/channel"
+	"fastforward/internal/dsp"
+	"fastforward/internal/rng"
+)
+
+// This file implements the Sec 6.1 identification study behind Fig 21:
+// clients at many locations, ≥1000 packets per client over an extended
+// period (modeled as slow channel drift plus per-packet estimation noise),
+// measuring false-positive and false-negative rates of the uplink
+// fingerprint classifier for a given threshold.
+
+// StudyConfig parameterizes the Fig 21 experiment.
+type StudyConfig struct {
+	// NClients per location (the paper uses 4).
+	NClients int
+	// NLocations of independent client placements (the paper uses 100).
+	NLocations int
+	// PacketsPerClient per location (the paper uses ≥1000).
+	PacketsPerClient int
+	// Threshold is the classifier threshold (Aggressive/PassiveThreshold).
+	Threshold float64
+	// SNRdB of the fingerprint measurement at the relay.
+	SNRdB float64
+	// DriftStd is the per-packet relative channel drift (Gaussian,
+	// cumulative over the observation window).
+	DriftStd float64
+	// ReenrollEvery refreshes the relay's fingerprint database every this
+	// many packets (0 = never). The relay learns fingerprints on the fly
+	// from ongoing traffic (Sec 6), so the database tracks slow drift.
+	ReenrollEvery int
+	// Subcarriers is the fingerprint dimension (10 STF subcarriers).
+	Subcarriers int
+}
+
+// DefaultStudyConfig mirrors the paper's setup.
+func DefaultStudyConfig(threshold float64) StudyConfig {
+	return StudyConfig{
+		NClients:         4,
+		NLocations:       100,
+		PacketsPerClient: 1000,
+		Threshold:        threshold,
+		SNRdB:            20,
+		DriftStd:         0.008,
+		ReenrollEvery:    250,
+		Subcarriers:      10,
+	}
+}
+
+// StudyResult holds per-location FP and FN percentages.
+type StudyResult struct {
+	// FalsePositivePct[i] is the percentage of packets at location i
+	// attributed to the wrong client.
+	FalsePositivePct []float64
+	// FalseNegativePct[i] is the percentage of packets at location i with
+	// no identification.
+	FalseNegativePct []float64
+}
+
+// RunStudy executes the experiment. Determinism follows the source.
+func RunStudy(src *rng.Source, cfg StudyConfig) StudyResult {
+	res := StudyResult{
+		FalsePositivePct: make([]float64, cfg.NLocations),
+		FalseNegativePct: make([]float64, cfg.NLocations),
+	}
+	carriers := stfCarriers(cfg.Subcarriers)
+	for loc := 0; loc < cfg.NLocations; loc++ {
+		cls := NewClassifier(cfg.Threshold)
+		// Per-client true channels and enrollment. Clients in the same
+		// room see partially-correlated channels (shared dominant paths),
+		// which is what makes false positives possible at loose
+		// thresholds.
+		shared := channel.NewRayleigh(src, 4, 0.5, 1).ResponseVector(carriers, 64)
+		// Correlation varies by placement: tightly clustered clients (e.g.
+		// on the same desk) share most of their propagation paths, which
+		// is what produces false positives at loose thresholds.
+		rho := 0.3 + 0.68*src.Float64()
+		cs := complex(math.Sqrt(rho), 0)
+		co := complex(math.Sqrt(1-rho), 0)
+		chans := make([][]complex128, cfg.NClients)
+		for c := 0; c < cfg.NClients; c++ {
+			ch := channel.NewRayleigh(src, 4, 0.5, 1)
+			own := ch.ResponseVector(carriers, 64)
+			v := make([]complex128, len(own))
+			for i := range v {
+				v[i] = cs*shared[i] + co*own[i]
+			}
+			chans[c] = v
+			// Enroll from a noisy measurement (the relay's DB comes from
+			// real packets too).
+			cls.Enroll(c, measure(src, chans[c], cfg.SNRdB))
+		}
+		var fp, fn, total int
+		for c := 0; c < cfg.NClients; c++ {
+			state := append([]complex128(nil), chans[c]...)
+			for p := 0; p < cfg.PacketsPerClient; p++ {
+				// Slow drift: random walk on the channel vector.
+				for i := range state {
+					state[i] += src.ComplexGaussian(cfg.DriftStd * cfg.DriftStd)
+				}
+				if cfg.ReenrollEvery > 0 && p%cfg.ReenrollEvery == cfg.ReenrollEvery-1 {
+					cls.Enroll(c, measure(src, state, cfg.SNRdB))
+				}
+				got, ok := cls.Classify(measure(src, state, cfg.SNRdB))
+				total++
+				switch {
+				case !ok:
+					fn++
+				case got != c:
+					fp++
+				}
+			}
+		}
+		res.FalsePositivePct[loc] = 100 * float64(fp) / float64(total)
+		res.FalseNegativePct[loc] = 100 * float64(fn) / float64(total)
+	}
+	return res
+}
+
+// measure returns a noisy fingerprint of the channel vector at the given
+// measurement SNR.
+func measure(src *rng.Source, ch []complex128, snrDB float64) Fingerprint {
+	var sig float64
+	for _, v := range ch {
+		sig += real(v)*real(v) + imag(v)*imag(v)
+	}
+	sig /= float64(len(ch))
+	noiseVar := sig / dsp.Linear(snrDB)
+	fp := make(Fingerprint, len(ch))
+	for i, v := range ch {
+		fp[i] = v + src.ComplexGaussian(noiseVar)
+	}
+	return fp
+}
+
+// stfCarriers returns the n measured STF subcarrier indices; the STF
+// occupies every 4th subcarrier (±4, ±8, …, ±24), of which the paper's
+// technique uses 10.
+func stfCarriers(n int) []int {
+	all := []int{-24, -20, -16, -12, -8, 8, 12, 16, 20, 24, -4, 4}
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}

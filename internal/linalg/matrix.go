@@ -1,0 +1,287 @@
+// Package linalg implements the dense complex-valued linear algebra the
+// MIMO parts of FastForward need: determinants (the CNF objective is
+// det(Hsd + Hrd·F·A·Hsr)), singular values (MIMO rank and per-stream SNR),
+// inverses and least-squares solves (cancellation filter estimation).
+//
+// Matrices are small (antenna counts and filter tap counts), so the
+// implementations favour clarity and numerical robustness over asymptotic
+// speed: LU with partial pivoting, Householder QR, and one-sided Jacobi SVD.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense complex matrix with row-major storage.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("linalg: non-positive dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all equal length, copied).
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: empty rows")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&b, "%8.4f%+8.4fi ", real(m.At(i, j)), imag(m.At(i, j)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.checkSame(o)
+	r := m.Clone()
+	for i := range r.Data {
+		r.Data[i] += o.Data[i]
+	}
+	return r
+}
+
+// Sub returns m - o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.checkSame(o)
+	r := m.Clone()
+	for i := range r.Data {
+		r.Data[i] -= o.Data[i]
+	}
+	return r
+}
+
+// ScaleC returns m scaled by a complex scalar.
+func (m *Matrix) ScaleC(s complex128) *Matrix {
+	r := m.Clone()
+	for i := range r.Data {
+		r.Data[i] *= s
+	}
+	return r
+}
+
+// Scale returns m scaled by a real scalar.
+func (m *Matrix) Scale(s float64) *Matrix { return m.ScaleC(complex(s, 0)) }
+
+// Mul returns the matrix product m·o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d",
+			m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	r := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				r.Data[i*r.Cols+j] += a * o.At(k, j)
+			}
+		}
+	}
+	return r
+}
+
+// MulVec returns m·v for a column vector v (len == Cols).
+func (m *Matrix) MulVec(v []complex128) []complex128 {
+	if len(v) != m.Cols {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Adjoint returns the conjugate transpose mᴴ.
+func (m *Matrix) Adjoint() *Matrix {
+	r := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return r
+}
+
+// Transpose returns mᵀ (no conjugation).
+func (m *Matrix) Transpose() *Matrix {
+	r := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r.Set(j, i, m.At(i, j))
+		}
+	}
+	return r
+}
+
+// FrobeniusNorm returns sqrt(sum |m_ij|^2).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Det returns the determinant of a square matrix via LU decomposition with
+// partial pivoting.
+func (m *Matrix) Det() complex128 {
+	if m.Rows != m.Cols {
+		panic("linalg: Det of non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	det := complex(1, 0)
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude in the column at or below the diagonal.
+		piv, pmax := col, cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(a.At(r, col)); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax == 0 {
+			return 0
+		}
+		if piv != col {
+			a.swapRows(piv, col)
+			det = -det
+		}
+		p := a.At(col, col)
+		det *= p
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / p
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+			}
+		}
+	}
+	return det
+}
+
+// Inverse returns m⁻¹ (Gauss-Jordan with partial pivoting) or an error for
+// singular matrices.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: inverse of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		piv, pmax := col, cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(a.At(r, col)); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular matrix")
+		}
+		if piv != col {
+			a.swapRows(piv, col)
+			inv.swapRows(piv, col)
+		}
+		p := a.At(col, col)
+		for c := 0; c < n; c++ {
+			a.Set(col, c, a.At(col, c)/p)
+			inv.Set(col, c, inv.At(col, c)/p)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+				inv.Set(r, c, inv.At(r, c)-f*inv.At(col, c))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Solve solves m·x = b for x, where b is a column vector.
+func (m *Matrix) Solve(b []complex128) ([]complex128, error) {
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	return inv.MulVec(b), nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func (m *Matrix) checkSame(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}

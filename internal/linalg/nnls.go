@@ -1,0 +1,119 @@
+package linalg
+
+// NNLS solves min ||A·x − b||₂ subject to x ≥ 0 with the classical
+// active-set algorithm (Lawson & Hanson 1974), with a ridge penalty on the
+// passive-set solves. A is row-major dense; intended for small systems.
+func NNLS(A [][]float64, b []float64, ridge float64) ([]float64, bool) {
+	rows := len(A)
+	if rows == 0 {
+		return nil, false
+	}
+	cols := len(A[0])
+	x := make([]float64, cols)
+	passive := make([]bool, cols)
+	resid := make([]float64, rows)
+	grad := make([]float64, cols)
+	// Scale-aware tolerance.
+	var bn float64
+	for _, v := range b {
+		bn += v * v
+	}
+	tol := 1e-10 * (1 + bn)
+
+	solvePassive := func() ([]float64, bool) {
+		p := make([]int, 0, cols)
+		for j, on := range passive {
+			if on {
+				p = append(p, j)
+			}
+		}
+		if len(p) == 0 {
+			return nil, true
+		}
+		M := NewMatrix(rows, len(p))
+		rb := make([]complex128, rows)
+		for r := 0; r < rows; r++ {
+			rb[r] = complex(b[r], 0)
+			for ji, j := range p {
+				M.Set(r, ji, complex(A[r][j], 0))
+			}
+		}
+		// A light ridge discourages the huge opposing-gain solutions the
+		// unregularized fit produces when extrapolating delay slopes; those
+		// saturate the couplers and collapse after quantization.
+		sol, err := LeastSquares(M, rb, ridge)
+		if err != nil {
+			return nil, false
+		}
+		z := make([]float64, cols)
+		for ji, j := range p {
+			z[j] = real(sol[ji])
+		}
+		return z, true
+	}
+
+	for outer := 0; outer < 3*cols+10; outer++ {
+		// Gradient w = Aᵀ(b − A·x).
+		for r := 0; r < rows; r++ {
+			s := b[r]
+			for j := 0; j < cols; j++ {
+				s -= A[r][j] * x[j]
+			}
+			resid[r] = s
+		}
+		for j := 0; j < cols; j++ {
+			var s float64
+			for r := 0; r < rows; r++ {
+				s += A[r][j] * resid[r]
+			}
+			grad[j] = s
+		}
+		// Pick the most promising zero-set variable.
+		best, bj := tol, -1
+		for j := 0; j < cols; j++ {
+			if !passive[j] && grad[j] > best {
+				best, bj = grad[j], j
+			}
+		}
+		if bj < 0 {
+			return x, true // KKT satisfied
+		}
+		passive[bj] = true
+		// Inner loop: keep the passive solution feasible.
+		for inner := 0; inner < 3*cols+10; inner++ {
+			z, ok := solvePassive()
+			if !ok {
+				return x, false
+			}
+			if z == nil {
+				break
+			}
+			negFound := false
+			alpha := 1.0
+			for j := 0; j < cols; j++ {
+				if passive[j] && z[j] <= 0 {
+					negFound = true
+					if d := x[j] - z[j]; d > 0 {
+						if a := x[j] / d; a < alpha {
+							alpha = a
+						}
+					}
+				}
+			}
+			if !negFound {
+				copy(x, z)
+				break
+			}
+			for j := 0; j < cols; j++ {
+				if passive[j] {
+					x[j] += alpha * (z[j] - x[j])
+					if x[j] <= 1e-14 {
+						x[j] = 0
+						passive[j] = false
+					}
+				}
+			}
+		}
+	}
+	return x, true
+}

@@ -1,0 +1,242 @@
+// Package modulation implements the constellation mappings of the 802.11
+// OFDM PHY: BPSK, QPSK, 16-QAM, 64-QAM and 256-QAM with Gray coding and the
+// standard per-constellation normalization so that average symbol power is 1.
+// It provides hard-decision and soft (approximate log-likelihood ratio)
+// demapping; the soft outputs feed the Viterbi decoder.
+package modulation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme identifies a constellation.
+type Scheme int
+
+// Supported constellations, in increasing spectral efficiency.
+const (
+	BPSK Scheme = iota
+	QPSK
+	QAM16
+	QAM64
+	QAM256
+)
+
+// String returns the constellation name.
+func (s Scheme) String() string {
+	switch s {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	case QAM256:
+		return "256-QAM"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// BitsPerSymbol returns the number of bits carried per constellation symbol.
+func (s Scheme) BitsPerSymbol() int {
+	switch s {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	case QAM256:
+		return 8
+	}
+	panic("modulation: unknown scheme")
+}
+
+// norm returns the amplitude normalization factor (1/sqrt(E_avg)) for the
+// square constellation so the mapped symbols have unit average power.
+func (s Scheme) norm() float64 {
+	switch s {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 1 / math.Sqrt(2)
+	case QAM16:
+		return 1 / math.Sqrt(10)
+	case QAM64:
+		return 1 / math.Sqrt(42)
+	case QAM256:
+		return 1 / math.Sqrt(170)
+	}
+	panic("modulation: unknown scheme")
+}
+
+// pamLevels returns the per-axis PAM order (sqrt of constellation size).
+func (s Scheme) pamLevels() int {
+	switch s {
+	case BPSK:
+		return 0 // special-cased: real axis only
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 8
+	case QAM256:
+		return 16
+	}
+	panic("modulation: unknown scheme")
+}
+
+// grayToPAM maps a Gray-coded index of b bits to the PAM amplitude
+// {-(2^b-1), ..., -1, +1, ..., +(2^b-1)} following the 802.11 convention
+// (bit pattern 0..0 maps to the most negative level).
+func grayToPAM(gray, bits int) float64 {
+	// Convert Gray code to binary.
+	bin := gray
+	for shift := 1; shift < bits; shift <<= 1 {
+		bin ^= bin >> shift
+	}
+	return float64(2*bin - ((1 << bits) - 1))
+}
+
+// pamToGray inverts grayToPAM for hard decisions: nearest level, then
+// binary→Gray.
+func pamToGray(v float64, bits int) int {
+	levels := 1 << bits
+	// level index = round((v + (levels-1)) / 2), clamped.
+	idx := int(math.Round((v + float64(levels-1)) / 2))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= levels {
+		idx = levels - 1
+	}
+	return idx ^ (idx >> 1) // binary to Gray
+}
+
+// Map modulates bits (values 0/1) into constellation symbols. The bit count
+// must be a multiple of BitsPerSymbol.
+func Map(s Scheme, bits []byte) ([]complex128, error) {
+	bps := s.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("modulation: %d bits not a multiple of %d", len(bits), bps)
+	}
+	syms := make([]complex128, len(bits)/bps)
+	if s == BPSK {
+		for i, b := range bits {
+			if b == 0 {
+				syms[i] = -1
+			} else {
+				syms[i] = 1
+			}
+		}
+		return syms, nil
+	}
+	half := bps / 2
+	n := s.norm()
+	for i := range syms {
+		chunk := bits[i*bps : (i+1)*bps]
+		var gi, gq int
+		for k := 0; k < half; k++ {
+			gi = gi<<1 | int(chunk[k])
+			gq = gq<<1 | int(chunk[half+k])
+		}
+		re := grayToPAM(gi, half)
+		im := grayToPAM(gq, half)
+		syms[i] = complex(re*n, im*n)
+	}
+	return syms, nil
+}
+
+// HardDemap makes hard decisions on received symbols and returns the bits.
+func HardDemap(s Scheme, syms []complex128) []byte {
+	bps := s.BitsPerSymbol()
+	bits := make([]byte, 0, len(syms)*bps)
+	if s == BPSK {
+		for _, y := range syms {
+			if real(y) >= 0 {
+				bits = append(bits, 1)
+			} else {
+				bits = append(bits, 0)
+			}
+		}
+		return bits
+	}
+	half := bps / 2
+	n := s.norm()
+	for _, y := range syms {
+		gi := pamToGray(real(y)/n, half)
+		gq := pamToGray(imag(y)/n, half)
+		for k := half - 1; k >= 0; k-- {
+			bits = append(bits, byte(gi>>k&1))
+		}
+		for k := half - 1; k >= 0; k-- {
+			bits = append(bits, byte(gq>>k&1))
+		}
+	}
+	return bits
+}
+
+// SoftDemap computes per-bit log-likelihood ratios (positive = bit 1 more
+// likely) using the max-log approximation, scaled by 1/noiseVar. These LLRs
+// feed the soft-decision Viterbi decoder. noiseVar must be positive.
+func SoftDemap(s Scheme, syms []complex128, noiseVar float64) []float64 {
+	if noiseVar <= 0 {
+		noiseVar = 1e-9
+	}
+	bps := s.BitsPerSymbol()
+	llrs := make([]float64, 0, len(syms)*bps)
+	if s == BPSK {
+		for _, y := range syms {
+			llrs = append(llrs, 4*real(y)/noiseVar)
+		}
+		return llrs
+	}
+	half := bps / 2
+	n := s.norm()
+	levels := 1 << half
+	// Precompute PAM amplitudes per Gray index.
+	amps := make([]float64, levels)
+	for g := 0; g < levels; g++ {
+		amps[g] = grayToPAM(g, half) * n
+	}
+	axisLLR := func(v float64) []float64 {
+		out := make([]float64, half)
+		for bit := 0; bit < half; bit++ {
+			min0, min1 := math.Inf(1), math.Inf(1)
+			for g := 0; g < levels; g++ {
+				d := v - amps[g]
+				d2 := d * d
+				if g>>(half-1-bit)&1 == 1 {
+					if d2 < min1 {
+						min1 = d2
+					}
+				} else {
+					if d2 < min0 {
+						min0 = d2
+					}
+				}
+			}
+			out[bit] = (min0 - min1) / noiseVar
+		}
+		return out
+	}
+	for _, y := range syms {
+		llrs = append(llrs, axisLLR(real(y))...)
+		llrs = append(llrs, axisLLR(imag(y))...)
+	}
+	return llrs
+}
+
+// MinDistance returns the minimum Euclidean distance between distinct
+// constellation points — useful for analytic SNR thresholds.
+func MinDistance(s Scheme) float64 {
+	if s == BPSK {
+		return 2
+	}
+	return 2 * s.norm()
+}

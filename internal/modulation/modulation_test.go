@@ -1,0 +1,198 @@
+package modulation
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allSchemes = []Scheme{BPSK, QPSK, QAM16, QAM64, QAM256}
+
+func TestBitsPerSymbol(t *testing.T) {
+	want := map[Scheme]int{BPSK: 1, QPSK: 2, QAM16: 4, QAM64: 6, QAM256: 8}
+	for s, n := range want {
+		if s.BitsPerSymbol() != n {
+			t.Errorf("%v BitsPerSymbol = %d, want %d", s, s.BitsPerSymbol(), n)
+		}
+	}
+}
+
+func TestMapDemapRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, s := range allSchemes {
+		bits := make([]byte, 240*s.BitsPerSymbol()/8*8)
+		// ensure multiple of bps
+		bits = bits[:len(bits)/s.BitsPerSymbol()*s.BitsPerSymbol()]
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		syms, err := Map(s, bits)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		got := HardDemap(s, syms)
+		if len(got) != len(bits) {
+			t.Fatalf("%v: length mismatch", s)
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("%v: bit %d flipped on clean roundtrip", s, i)
+			}
+		}
+	}
+}
+
+func TestUnitAveragePower(t *testing.T) {
+	// Map all possible symbols for each scheme; average power must be 1.
+	for _, s := range allSchemes {
+		bps := s.BitsPerSymbol()
+		count := 1 << bps
+		bits := make([]byte, 0, count*bps)
+		for v := 0; v < count; v++ {
+			for k := bps - 1; k >= 0; k-- {
+				bits = append(bits, byte(v>>k&1))
+			}
+		}
+		syms, err := Map(s, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p float64
+		for _, y := range syms {
+			p += real(y)*real(y) + imag(y)*imag(y)
+		}
+		p /= float64(len(syms))
+		if math.Abs(p-1) > 1e-12 {
+			t.Errorf("%v: average power %v, want 1", s, p)
+		}
+	}
+}
+
+func TestAllConstellationPointsDistinct(t *testing.T) {
+	for _, s := range allSchemes {
+		bps := s.BitsPerSymbol()
+		count := 1 << bps
+		seen := make(map[complex128]int)
+		for v := 0; v < count; v++ {
+			bits := make([]byte, bps)
+			for k := 0; k < bps; k++ {
+				bits[k] = byte(v >> (bps - 1 - k) & 1)
+			}
+			syms, _ := Map(s, bits)
+			if prev, dup := seen[syms[0]]; dup {
+				t.Fatalf("%v: bit patterns %b and %b map to same point", s, prev, v)
+			}
+			seen[syms[0]] = v
+		}
+	}
+}
+
+func TestGrayAdjacency(t *testing.T) {
+	// In a Gray-coded PAM axis, adjacent amplitude levels differ in exactly
+	// one bit. Verify for the 16-level axis of 256-QAM.
+	const bits = 4
+	prev := -1
+	for level := 0; level < 16; level++ {
+		gray := level ^ (level >> 1)
+		if prev >= 0 {
+			diff := gray ^ prev
+			if diff == 0 || diff&(diff-1) != 0 {
+				t.Fatalf("levels %d,%d gray codes differ in != 1 bit", level-1, level)
+			}
+		}
+		prev = gray
+	}
+}
+
+func TestMapRejectsBadLength(t *testing.T) {
+	if _, err := Map(QAM16, []byte{1, 0, 1}); err == nil {
+		t.Error("expected error for bit count not multiple of 4")
+	}
+}
+
+func TestSoftDemapSignsMatchHard(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, s := range allSchemes {
+		bits := make([]byte, 60*s.BitsPerSymbol())
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		syms, _ := Map(s, bits)
+		llrs := SoftDemap(s, syms, 0.1)
+		for i, l := range llrs {
+			hard := byte(0)
+			if l > 0 {
+				hard = 1
+			}
+			if hard != bits[i] {
+				t.Fatalf("%v: LLR sign at %d disagrees with transmitted bit (llr=%v bit=%d)",
+					s, i, l, bits[i])
+			}
+		}
+	}
+}
+
+func TestSoftDemapNoiseScaling(t *testing.T) {
+	// Lower noise variance should yield larger-magnitude LLRs.
+	syms, _ := Map(QAM16, []byte{1, 0, 1, 1})
+	hi := SoftDemap(QAM16, syms, 0.01)
+	lo := SoftDemap(QAM16, syms, 1.0)
+	for i := range hi {
+		if math.Abs(hi[i]) <= math.Abs(lo[i]) {
+			t.Fatalf("LLR magnitude should grow as noise shrinks: %v vs %v", hi[i], lo[i])
+		}
+	}
+}
+
+func TestHardDemapNoisyNearestNeighbor(t *testing.T) {
+	// With noise below half the minimum distance, demap must be exact.
+	r := rand.New(rand.NewSource(3))
+	for _, s := range allSchemes {
+		bits := make([]byte, 120*s.BitsPerSymbol())
+		for i := range bits {
+			bits[i] = byte(r.Intn(2))
+		}
+		syms, _ := Map(s, bits)
+		maxNoise := MinDistance(s) / 2 * 0.9
+		for i := range syms {
+			angle := 2 * math.Pi * r.Float64()
+			syms[i] += cmplx.Rect(maxNoise*r.Float64(), angle)
+		}
+		got := HardDemap(s, syms)
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("%v: bit error with sub-threshold noise", s)
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []byte, schemeIdx uint8) bool {
+		s := allSchemes[int(schemeIdx)%len(allSchemes)]
+		bps := s.BitsPerSymbol()
+		bits := make([]byte, len(raw)/bps*bps)
+		for i := range bits {
+			bits[i] = raw[i] & 1
+		}
+		if len(bits) == 0 {
+			return true
+		}
+		syms, err := Map(s, bits)
+		if err != nil {
+			return false
+		}
+		got := HardDemap(s, syms)
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fastforward/internal/dsp"
+)
+
+func TestLTEParams(t *testing.T) {
+	p := LTE20MHz()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Normal CP: 144 samples at 30.72 Msps = 4.6875 µs (the paper quotes
+	// 4.69 µs).
+	if got := p.CPDuration(); math.Abs(got-4.6875e-6) > 1e-12 {
+		t.Errorf("LTE CP %v, want 4.6875us", got)
+	}
+	// 15 kHz subcarrier spacing.
+	if got := p.SubcarrierSpacing(); math.Abs(got-15e3) > 1e-9 {
+		t.Errorf("subcarrier spacing %v, want 15 kHz", got)
+	}
+	if p.NumUsed() != 1200 {
+		t.Errorf("used subcarriers %d, want 1200", p.NumUsed())
+	}
+	// The paper's ~5000 ft delay-spread budget.
+	if ft := p.GuardFeet(); ft < 4400 || ft > 5000 {
+		t.Errorf("guard distance %v ft, want ~4600-4700", ft)
+	}
+}
+
+func TestLTERelayLatencyBudget(t *testing.T) {
+	// The same 100 ns relay that barely fits WiFi's 400 ns CP has over
+	// 4.5 µs of headroom in LTE: a relayed copy delayed 1 µs still causes
+	// no ISI.
+	wifi := Default20MHz()
+	lte := LTE20MHz()
+	const relayDelay = 1e-6
+	if relayDelay < wifi.MaxDelaySpreadSeconds() {
+		t.Fatal("test premise broken: 1us should exceed the WiFi CP")
+	}
+	if relayDelay > lte.MaxDelaySpreadSeconds() {
+		t.Fatal("1us should be well within the LTE CP")
+	}
+}
+
+func TestLTECPAbsorbsLongMultipath(t *testing.T) {
+	// Waveform-level: a reflection delayed 100 samples (3.3 µs! far beyond
+	// WiFi's CP) is absorbed by the LTE CP with no ISI.
+	p := LTE20MHz()
+	mod := NewModulator(p)
+	dem := NewDemodulator(p)
+	data1 := make([]complex128, p.NumData())
+	data2 := make([]complex128, p.NumData())
+	for i := range data1 {
+		if i%2 == 0 {
+			data1[i], data2[i] = 1, -1
+		} else {
+			data1[i], data2[i] = -1, 1
+		}
+	}
+	burst, err := mod.Burst(append(append([]complex128{}, data1...), data2...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 100
+	rx := dsp.Add(burst, dsp.Scale(dsp.Delay(burst, delay), 0.5))
+	got, _, err := dem.Symbol(rx[p.SymbolLen():])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range p.DataCarriers[:200] {
+		h := 1 + 0.5*cmplx.Exp(complex(0, -2*math.Pi*float64(k)*delay/float64(p.NFFT)))
+		want := data2[i] * h
+		if cmplx.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("subcarrier %d: ISI despite LTE CP (got %v want %v)", k, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package ofdm
+
+import (
+	"math"
+
+	"fastforward/internal/fft"
+)
+
+// The 802.11 legacy training sequences. The short training field (STF)
+// occupies 12 subcarriers and produces a time-domain signal with period 16
+// samples; ten repetitions fill 160 samples (8 µs at 20 Msps). The long
+// training field (LTF) occupies 52 subcarriers, is known at the receiver,
+// and drives both fine CFO estimation and channel estimation.
+
+// stfBins returns the frequency-domain STF: subcarriers ±4,±8,…,±24 with
+// the standard QPSK values, scaled so the time signal has roughly unit
+// average power.
+func stfBins(nfft int) []complex128 {
+	bins := make([]complex128, nfft)
+	s := complex(math.Sqrt(13.0/6.0), 0)
+	set := func(k int, v complex128) {
+		if k >= 0 {
+			bins[k] = v * s
+		} else {
+			bins[nfft+k] = v * s
+		}
+	}
+	plus := complex(1, 1)
+	minus := complex(-1, -1)
+	set(-24, plus)
+	set(-20, minus)
+	set(-16, plus)
+	set(-12, minus)
+	set(-8, minus)
+	set(-4, plus)
+	set(4, minus)
+	set(8, minus)
+	set(12, plus)
+	set(16, plus)
+	set(20, plus)
+	set(24, plus)
+	return bins
+}
+
+// ltfSequence is the 802.11 long training symbol, subcarriers -26..26.
+var ltfSequence = []int{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+	0,                                                                                         // DC
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+}
+
+// ltfBins returns the frequency-domain LTF over nfft bins. Beyond the
+// legacy ±26 span it adds the 802.11n HT-LTF edge subcarriers (±27, ±28) so
+// the full 56-subcarrier PHY of the paper's prototype can be channel-sounded
+// from the preamble.
+func ltfBins(nfft int) []complex128 {
+	bins := make([]complex128, nfft)
+	for i, v := range ltfSequence {
+		k := i - 26
+		if v == 0 {
+			continue
+		}
+		bins[binIndex(k, nfft)] = complex(float64(v), 0)
+	}
+	// HT extension: values from the 802.11n HT-LTF (20 MHz).
+	bins[binIndex(-28, nfft)] = 1
+	bins[binIndex(-27, nfft)] = 1
+	bins[binIndex(27, nfft)] = -1
+	bins[binIndex(28, nfft)] = -1
+	return bins
+}
+
+func binIndex(k, nfft int) int {
+	if k >= 0 {
+		return k
+	}
+	return nfft + k
+}
+
+// Preamble holds the waveform and metadata of the legacy training fields.
+type Preamble struct {
+	p *Params
+	// STF is 160 samples: 10 repetitions of the 16-sample short symbol.
+	STF []complex128
+	// LTF is 160 samples: a 32-sample CP followed by two 64-sample long
+	// training symbols.
+	LTF []complex128
+	// LTFBins is the known frequency-domain LTF used for channel estimation.
+	LTFBins []complex128
+	// ShortPeriod is the STF repetition period in samples (16).
+	ShortPeriod int
+}
+
+// NewPreamble builds the training fields for the given numerology (which
+// must be 64-point for the standard sequences).
+func NewPreamble(p *Params) *Preamble {
+	stfTD := fft.Inverse(stfBins(p.NFFT))
+	// Ten repetitions of the first quarter (period NFFT/4 = 16).
+	period := p.NFFT / 4
+	stf := make([]complex128, 0, 10*period)
+	for r := 0; r < 10; r++ {
+		stf = append(stf, stfTD[:period]...)
+	}
+	lb := ltfBins(p.NFFT)
+	ltfTD := fft.Inverse(lb)
+	ltf := make([]complex128, 0, p.NFFT/2+2*p.NFFT)
+	ltf = append(ltf, ltfTD[p.NFFT/2:]...) // 32-sample double-length CP
+	ltf = append(ltf, ltfTD...)
+	ltf = append(ltf, ltfTD...)
+	return &Preamble{
+		p:           p,
+		STF:         stf,
+		LTF:         ltf,
+		LTFBins:     lb,
+		ShortPeriod: period,
+	}
+}
+
+// Samples returns the concatenated STF+LTF waveform (320 samples, 16 µs).
+func (pr *Preamble) Samples() []complex128 {
+	out := make([]complex128, 0, len(pr.STF)+len(pr.LTF))
+	out = append(out, pr.STF...)
+	out = append(out, pr.LTF...)
+	return out
+}
+
+// Len returns the preamble length in samples.
+func (pr *Preamble) Len() int { return len(pr.STF) + len(pr.LTF) }
+
+// LTFSymbolOffsets returns the offsets (relative to preamble start) of the
+// two clean 64-sample LTF training symbols.
+func (pr *Preamble) LTFSymbolOffsets() (int, int) {
+	base := len(pr.STF) + pr.p.NFFT/2
+	return base, base + pr.p.NFFT
+}

@@ -1,0 +1,230 @@
+// Package phyrate turns effective channels into the paper's evaluation
+// metric: PHY-layer throughput, "the optimal bitrate that can be used at
+// any location given the SNR and the MIMO rank" (Sec 5). It selects the
+// best MCS and spatial-stream count per link, handling the colored noise a
+// relay adds (amplified relay noise arrives through the relay→destination
+// channel) by noise whitening.
+package phyrate
+
+import (
+	"math"
+
+	"fastforward/internal/dsp"
+	"fastforward/internal/linalg"
+	"fastforward/internal/ofdm"
+	"fastforward/internal/wifi"
+)
+
+// SISORateMbps returns the PHY throughput of a SISO link given
+// per-subcarrier effective channel gains, transmit power and a flat noise
+// plus an optional per-subcarrier extra noise term (relay noise).
+func SISORateMbps(p *ofdm.Params, heff []complex128, txPowerMW, noiseMW float64, extraNoiseMW []float64) float64 {
+	if len(heff) == 0 {
+		return 0
+	}
+	var acc float64
+	for i, h := range heff {
+		n := noiseMW
+		if extraNoiseMW != nil {
+			n += extraNoiseMW[i]
+		}
+		if n <= 0 {
+			continue
+		}
+		g := real(h)*real(h) + imag(h)*imag(h)
+		acc += g * txPowerMW / n
+	}
+	snr := dsp.DB(acc / float64(len(heff)))
+	return wifi.MaxSupportedRateMbps(p, snr, 1)
+}
+
+// NoiseCovariance returns the destination noise covariance for a relayed
+// MIMO link: n0·I + nr·(Hrd·FA)(Hrd·FA)ᴴ, where Hrd·FA carries the
+// relay's own receiver noise to the destination.
+func NoiseCovariance(HrdFA *linalg.Matrix, n0, nr float64) *linalg.Matrix {
+	n := HrdFA.Rows
+	cov := linalg.Identity(n).Scale(n0)
+	if nr > 0 {
+		cov = cov.Add(HrdFA.Mul(HrdFA.Adjoint()).Scale(nr))
+	}
+	return cov
+}
+
+// whiten returns N^(-1/2)·H for a Hermitian positive-definite noise
+// covariance N, computed via Cholesky-free inverse square root: for the
+// 2×2 (or small) matrices here we use the eigendecomposition implied by
+// the SVD of the Hermitian matrix.
+func whiten(H, N *linalg.Matrix) *linalg.Matrix {
+	inv, err := invSqrt(N)
+	if err != nil {
+		return H
+	}
+	return inv.Mul(H)
+}
+
+// invSqrt computes N^(-1/2) for Hermitian positive-definite N via
+// Denman-Beavers iteration on N (sqrt), then inversion. Matrices are tiny
+// (antenna count), so the iteration cost is negligible.
+func invSqrt(N *linalg.Matrix) (*linalg.Matrix, error) {
+	y := N.Clone()
+	z := linalg.Identity(N.Rows)
+	for iter := 0; iter < 60; iter++ {
+		yInv, err := y.Inverse()
+		if err != nil {
+			return nil, err
+		}
+		zInv, err := z.Inverse()
+		if err != nil {
+			return nil, err
+		}
+		yNext := y.Add(zInv).Scale(0.5)
+		zNext := z.Add(yInv).Scale(0.5)
+		dy := yNext.Sub(y).FrobeniusNorm()
+		y, z = yNext, zNext
+		if dy < 1e-14*y.FrobeniusNorm() {
+			break
+		}
+	}
+	// y ≈ sqrt(N), z ≈ N^(-1/2).
+	return z, nil
+}
+
+// MIMORate reports the best rate and stream count for a MIMO link.
+type MIMORate struct {
+	// RateMbps is the PHY throughput at the best configuration.
+	RateMbps float64
+	// Streams is the spatial stream count achieving it.
+	Streams int
+	// UsableStreams counts the streams whose SNR clears the lowest MCS
+	// when transmit power is split across all antennas — the "number of
+	// MIMO spatial streams possible" of the paper's Fig 2.
+	UsableStreams int
+	// PerStreamSNRdB holds the post-whitening per-stream SNRs of the best
+	// configuration.
+	PerStreamSNRdB []float64
+}
+
+// MIMORateMbps evaluates a MIMO link: Heff is the per-subcarrier effective
+// channel (destination antennas × source antennas), noiseCov the
+// per-subcarrier destination noise covariance (nil for white noise of
+// power n0). Transmit power txPowerMW is split evenly across streams. The
+// function tries every stream count and picks the best sum rate, mapping
+// per-stream SNR through the MCS table.
+func MIMORateMbps(p *ofdm.Params, Heff []*linalg.Matrix, noiseCov []*linalg.Matrix, txPowerMW, n0 float64) MIMORate {
+	if len(Heff) == 0 {
+		return MIMORate{}
+	}
+	nRx := Heff[0].Rows
+	nTx := Heff[0].Cols
+	maxStreams := nRx
+	if nTx < maxStreams {
+		maxStreams = nTx
+	}
+	// Accumulate per-stream SNR (linear) across subcarriers using the
+	// singular values of the whitened channel.
+	acc := make([]float64, maxStreams)
+	for i, H := range Heff {
+		W := H
+		if noiseCov != nil {
+			W = whiten(H, noiseCov[i])
+		} else {
+			W = H.Scale(1 / math.Sqrt(n0))
+		}
+		sv := W.SingularValues()
+		for s := 0; s < maxStreams && s < len(sv); s++ {
+			acc[s] += sv[s] * sv[s]
+		}
+	}
+	for s := range acc {
+		acc[s] /= float64(len(Heff))
+	}
+	best := MIMORate{}
+	// Streams "possible": power split across the full antenna count, count
+	// eigen-channels clearing the lowest MCS sensitivity.
+	mcs0 := wifi.MCSList()[0].MinSNRdB
+	for s := 0; s < maxStreams; s++ {
+		if dsp.DB(acc[s]*txPowerMW/float64(maxStreams)) >= mcs0 {
+			best.UsableStreams++
+		}
+	}
+	for ns := 1; ns <= maxStreams; ns++ {
+		perStream := txPowerMW / float64(ns)
+		var total float64
+		snrs := make([]float64, ns)
+		ok := true
+		for s := 0; s < ns; s++ {
+			snr := dsp.DB(acc[s] * perStream)
+			snrs[s] = snr
+			r := wifi.MaxSupportedRateMbps(p, snr, 1)
+			if r == 0 && s == 0 {
+				ok = false
+				break
+			}
+			total += r
+		}
+		if !ok {
+			continue
+		}
+		if total > best.RateMbps {
+			best.RateMbps = total
+			best.Streams = ns
+			best.PerStreamSNRdB = snrs
+		}
+	}
+	return best
+}
+
+// ClientClass buckets clients the way Fig 15 does.
+type ClientClass int
+
+// The three Fig 15 categories.
+const (
+	// LowSNRLowRank: edge of coverage, both SNR and rank poor (Fig 15a).
+	LowSNRLowRank ClientClass = iota
+	// MediumSNRLowRank: pinhole-limited clients (Fig 15b).
+	MediumSNRLowRank
+	// HighSNRHighRank: near the AP with rich scattering (Fig 15c).
+	HighSNRHighRank
+)
+
+// String names the class.
+func (c ClientClass) String() string {
+	switch c {
+	case LowSNRLowRank:
+		return "low-SNR/low-rank"
+	case MediumSNRLowRank:
+		return "medium-SNR/low-rank"
+	case HighSNRHighRank:
+		return "high-SNR/high-rank"
+	}
+	return "unknown"
+}
+
+// Classify buckets a client from its AP-only link: SNR of the strongest
+// stream and number of usable streams.
+func Classify(topStreamSNRdB float64, usableStreams int) ClientClass {
+	const goodSNR = 15.0
+	if topStreamSNRdB < goodSNR && usableStreams <= 1 {
+		return LowSNRLowRank
+	}
+	if usableStreams <= 1 {
+		return MediumSNRLowRank
+	}
+	if topStreamSNRdB >= goodSNR {
+		return HighSNRHighRank
+	}
+	return LowSNRLowRank
+}
+
+// RelativeGain returns a/b guarding against zero baselines; the paper's
+// relative-throughput metric uses the half-duplex case as baseline
+// (Sec 5) precisely because AP-only has zero-throughput dead spots.
+func RelativeGain(a, b float64) float64 {
+	if b <= 0 {
+		if a <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}

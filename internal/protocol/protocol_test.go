@@ -1,0 +1,181 @@
+package protocol
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fastforward/internal/channel"
+	"fastforward/internal/dsp"
+	"fastforward/internal/rng"
+	"fastforward/internal/wifi"
+)
+
+func TestFeedbackRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	h := make([]complex128, 52)
+	for i := range h {
+		h[i] = src.ComplexGaussian(1e-7)
+	}
+	payload := EncodeFeedback(h)
+	got, err := DecodeFeedback(payload, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// int8 quantization against the max component: relative error per
+	// component bounded by ~1/127 of the largest.
+	var maxAbs float64
+	for _, v := range h {
+		if a := cmplx.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for i := range h {
+		if cmplx.Abs(got[i]-h[i]) > maxAbs/40 {
+			t.Fatalf("carrier %d: %v vs %v", i, got[i], h[i])
+		}
+	}
+}
+
+func TestFeedbackRejectsShortPayload(t *testing.T) {
+	if _, err := DecodeFeedback([]byte{1, 2, 3}, 52); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestFeedbackZeroChannel(t *testing.T) {
+	h := make([]complex128, 8)
+	got, err := DecodeFeedback(EncodeFeedback(h), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("zero channel must decode to zero")
+		}
+	}
+}
+
+func newTestSession(seed int64) *Session {
+	src := rng.New(seed)
+	// Edge client: ~7 dB direct SNR — enough to hear sounding frames, far
+	// too little for useful data rates.
+	chSD := channel.NewRayleigh(src, 3, 0.5, dsp.Linear(-75))
+	chSR := channel.NewRayleigh(src, 2, 0.5, dsp.Linear(-52))
+	chRD := channel.NewRayleigh(src, 2, 0.5, dsp.Linear(-58))
+	return NewSession(src, chSD, chSR, chRD, 0, 8)
+}
+
+func TestSoundingExchangeLearnsChannels(t *testing.T) {
+	s := newTestSession(2)
+	if err := s.RunSoundingExchange(); err != nil {
+		t.Fatal(err)
+	}
+	hsdEst, hsrEst, hrdEst := s.EstimatedChannels()
+
+	check := func(name string, est []complex128, truth *channel.SISO, tolDB float64) {
+		want := truth.ResponseVector(s.Params.DataCarriers, s.Params.NFFT)
+		var sig float64
+		for i := range want {
+			sig += real(want[i])*real(want[i]) + imag(want[i])*imag(want[i])
+		}
+		// Timing acquisition may settle a sample or two away from the
+		// channel's first tap; score against the best integer shift.
+		best := math.Inf(1)
+		for shift := -2; shift <= 2; shift++ {
+			var errP float64
+			for i, k := range s.Params.DataCarriers {
+				rot := cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(shift)/float64(s.Params.NFFT)))
+				d := est[i]*rot - want[i]
+				errP += real(d)*real(d) + imag(d)*imag(d)
+			}
+			if errP < best {
+				best = errP
+			}
+		}
+		if best == 0 {
+			return
+		}
+		nmse := dsp.DB(best / sig)
+		if nmse > tolDB {
+			t.Errorf("%s estimate NMSE %.1f dB, want <= %.1f", name, nmse, tolDB)
+		}
+	}
+	// Receiver timing acquisition can settle a sample away from the
+	// channel's first tap, which shows up as a phase ramp across
+	// subcarriers; compare magnitudes (and the ramp-invariant shape) by
+	// allowing the best integer-delay alignment before scoring.
+	// hsr/hrd estimated from strong links: clean up to timing. hsd travels
+	// through the client's noisy estimate plus int8 feedback quantization,
+	// and the direct link sits at single-digit SNR, so its NMSE is loose.
+	check("hsr", hsrEst, s.ChSR, -15)
+	check("hrd", hrdEst, s.ChRD, -15)
+	check("hsd", hsdEst, s.ChSD, 0)
+
+	if s.AmplificationDB() <= 0 {
+		t.Error("relay learned no amplification headroom")
+	}
+}
+
+func TestClosedLoopRelayingImprovesDelivery(t *testing.T) {
+	// The whole point: with channels learned purely over the air, the
+	// relay lifts an edge client from barely-BPSK to 16-QAM rates.
+	s := newTestSession(3)
+	if err := s.RunSoundingExchange(); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 80)
+	mcs := wifi.MCSList()[4] // 16-QAM 3/4: needs ~15 dB, the client has ~7
+	direct, err := s.DeliverData(payload, mcs, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayed, err := s.DeliverData(payload, mcs, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct > 1 {
+		t.Errorf("edge client decoded %d/5 at MCS4 directly; test premise broken", direct)
+	}
+	if relayed < 4 {
+		t.Errorf("closed-loop relay delivered only %d/5 frames at MCS4", relayed)
+	}
+}
+
+func TestDeliverDataRequiresSounding(t *testing.T) {
+	s := newTestSession(4)
+	if _, err := s.DeliverData(make([]byte, 10), wifi.MCSList()[0], 1, true); err == nil {
+		t.Error("relaying without a sounding exchange should fail")
+	}
+}
+
+func TestSoundingFailsWhenRelayCannotHearAP(t *testing.T) {
+	src := rng.New(5)
+	chSD := channel.NewRayleigh(src, 3, 0.5, dsp.Linear(-105))
+	chSR := channel.NewRayleigh(src, 2, 0.5, dsp.Linear(-140)) // dead AP->relay
+	chRD := channel.NewRayleigh(src, 2, 0.5, dsp.Linear(-58))
+	s := NewSession(src, chSD, chSR, chRD, 0, 8)
+	if err := s.RunSoundingExchange(); err == nil {
+		t.Error("sounding should fail when the relay cannot hear the AP")
+	}
+}
+
+func TestAmplificationRespectsPACap(t *testing.T) {
+	// With a very strong AP->relay link, the PA cap binds: amplification
+	// cannot push the relay beyond its max TX power.
+	src := rng.New(6)
+	chSD := channel.NewRayleigh(src, 3, 0.5, dsp.Linear(-75))
+	chSR := channel.NewRayleigh(src, 2, 0.5, dsp.Linear(-30)) // very strong
+	chRD := channel.NewRayleigh(src, 2, 0.5, dsp.Linear(-58))
+	s := NewSession(src, chSD, chSR, chRD, 0, 8)
+	if err := s.RunSoundingExchange(); err != nil {
+		t.Fatal(err)
+	}
+	// rx at relay ~ -30 dBm, PA 0 dBm: amp <= ~30 dB.
+	if s.AmplificationDB() > 35 {
+		t.Errorf("amplification %v dB exceeds the PA cap regime", s.AmplificationDB())
+	}
+	if math.IsNaN(s.AmplificationDB()) {
+		t.Error("amplification NaN")
+	}
+}

@@ -1,0 +1,184 @@
+package relay
+
+import (
+	"fmt"
+	"math"
+
+	"fastforward/internal/dsp"
+	"fastforward/internal/rng"
+)
+
+// MIMOConfig parameterizes the 2×2 full-duplex relay of Fig 8. The
+// self-interference environment is a full matrix: each transmit antenna
+// leaks into each receive antenna (the off-diagonal terms are the
+// "cross talk" the paper's analog boards add taps for), and the digital
+// canceller mirrors that structure with one causal FIR per TX/RX pair —
+// the "2×2 causal digital cancellation" block of the figure.
+type MIMOConfig struct {
+	// SampleRate in samples/second.
+	SampleRate float64
+	// AmplificationDB is the per-stream power amplification.
+	AmplificationDB float64
+	// PipelineDelaySamples is the processing latency (≥1).
+	PipelineDelaySamples int
+	// PreFilter is the K×K CNF filter as per-pair FIR taps:
+	// PreFilter[out][in] filters input stream `in` into output `out`.
+	// Nil entries mean zero; a nil matrix means identity forwarding.
+	PreFilter [][][]complex128
+	// SITaps[rx][tx] is the physical residual SI channel from transmit
+	// antenna tx into receive antenna rx (after analog cancellation).
+	SITaps [][][]complex128
+	// CancelTaps[rx][tx] is the digital canceller's estimate of SITaps.
+	CancelTaps [][][]complex128
+	// RxNoiseMW is per-antenna receiver noise power.
+	RxNoiseMW float64
+	// NoiseSource supplies receiver noise; required if RxNoiseMW > 0.
+	NoiseSource *rng.Source
+}
+
+// MIMORelay is a streaming 2×2 full-duplex relay.
+type MIMORelay struct {
+	cfg     MIMOConfig
+	si      [2][2]*dsp.FIR
+	cancel  [2][2]*dsp.FIR
+	pre     [2][2]*dsp.FIR
+	pipe    [2]*dsp.DelayLine
+	pending [2]complex128
+	ampLin  float64
+}
+
+// NewMIMO builds the 2×2 relay. Tap matrices may be nil (zero SI /
+// identity forwarding).
+func NewMIMO(cfg MIMOConfig) (*MIMORelay, error) {
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("relay: SampleRate must be positive")
+	}
+	if cfg.PipelineDelaySamples < 1 {
+		return nil, fmt.Errorf("relay: PipelineDelaySamples must be >= 1")
+	}
+	if cfg.RxNoiseMW > 0 && cfg.NoiseSource == nil {
+		return nil, fmt.Errorf("relay: NoiseSource required with RxNoiseMW")
+	}
+	r := &MIMORelay{cfg: cfg, ampLin: dsp.AmplitudeFromDB(cfg.AmplificationDB)}
+	taps := func(m [][][]complex128, i, j int, identity bool) []complex128 {
+		if m != nil && i < len(m) && j < len(m[i]) && len(m[i][j]) > 0 {
+			return m[i][j]
+		}
+		if identity && i == j {
+			return []complex128{1}
+		}
+		return []complex128{0}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r.si[i][j] = dsp.NewFIR(taps(cfg.SITaps, i, j, false))
+			r.cancel[i][j] = dsp.NewFIR(taps(cfg.CancelTaps, i, j, false))
+			r.pre[i][j] = dsp.NewFIR(taps(cfg.PreFilter, i, j, true))
+		}
+		r.pipe[i] = dsp.NewDelayLine(cfg.PipelineDelaySamples - 1)
+	}
+	return r, nil
+}
+
+// Step advances one sample: incoming holds the over-the-air signal at each
+// receive antenna (without self-interference); the return value is what
+// each transmit antenna radiates this instant.
+func (r *MIMORelay) Step(incoming [2]complex128) [2]complex128 {
+	// Transmit the samples leaving the pipelines.
+	var tx [2]complex128
+	for i := 0; i < 2; i++ {
+		tx[i] = r.pipe[i].Push(r.pending[i])
+	}
+	// Physical reception with the full SI matrix + noise.
+	var rx [2]complex128
+	for i := 0; i < 2; i++ {
+		rx[i] = incoming[i]
+		for j := 0; j < 2; j++ {
+			rx[i] += r.si[i][j].Push(tx[j])
+		}
+		if r.cfg.RxNoiseMW > 0 {
+			rx[i] += r.cfg.NoiseSource.ComplexGaussian(r.cfg.RxNoiseMW)
+		}
+	}
+	// 2×2 causal digital cancellation: subtract each TX's estimated leak.
+	var clean [2]complex128
+	for i := 0; i < 2; i++ {
+		clean[i] = rx[i]
+		for j := 0; j < 2; j++ {
+			clean[i] -= r.cancel[i][j].Push(tx[j])
+		}
+	}
+	// K×K CNF pre-filter, amplification, enqueue.
+	for i := 0; i < 2; i++ {
+		var acc complex128
+		for j := 0; j < 2; j++ {
+			acc += r.pre[i][j].Push(clean[j])
+		}
+		r.pending[i] = acc * complex(r.ampLin, 0)
+	}
+	return tx
+}
+
+// Process runs a block of per-antenna samples (2 equal-length streams).
+func (r *MIMORelay) Process(incoming [][]complex128) [][]complex128 {
+	if len(incoming) != 2 || len(incoming[0]) != len(incoming[1]) {
+		panic("relay: MIMORelay needs 2 equal-length streams")
+	}
+	n := len(incoming[0])
+	out := [][]complex128{make([]complex128, n), make([]complex128, n)}
+	for k := 0; k < n; k++ {
+		tx := r.Step([2]complex128{incoming[0][k], incoming[1][k]})
+		out[0][k] = tx[0]
+		out[1][k] = tx[1]
+	}
+	return out
+}
+
+// Reset clears all state.
+func (r *MIMORelay) Reset() {
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r.si[i][j].Reset()
+			r.cancel[i][j].Reset()
+			r.pre[i][j].Reset()
+		}
+		r.pipe[i].Reset()
+		r.pending[i] = 0
+	}
+}
+
+// TypicalMIMOSI synthesizes a residual 2×2 SI tap set: stronger same-
+// antenna leakage on the diagonals, weaker cross-talk off-diagonal, all
+// already reduced by analog cancellation to the given residual level (dB
+// relative to the transmitted signal).
+func TypicalMIMOSI(src *rng.Source, residualDB float64) [][][]complex128 {
+	amp := math.Pow(10, residualDB/20)
+	mk := func(scale float64) []complex128 {
+		t := make([]complex128, 4)
+		for d := 1; d < 4; d++ {
+			t[d] = src.ComplexGaussian(scale * scale / 3)
+		}
+		return t
+	}
+	return [][][]complex128{
+		{mk(amp), mk(amp * 0.3)},
+		{mk(amp * 0.3), mk(amp)},
+	}
+}
+
+// SelfInterferencePowerDB measures the relay's open-loop SI power for a
+// unit-power transmission: the aggregate gain of the SI matrix in dB.
+func SelfInterferencePowerDB(si [][][]complex128) float64 {
+	var g float64
+	for i := range si {
+		for j := range si[i] {
+			for _, t := range si[i][j] {
+				g += real(t)*real(t) + imag(t)*imag(t)
+			}
+		}
+	}
+	if g <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(g/2) // per receive antenna
+}

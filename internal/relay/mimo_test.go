@@ -1,0 +1,179 @@
+package relay
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fastforward/internal/dsp"
+	"fastforward/internal/rng"
+)
+
+func basicMIMOConfig() MIMOConfig {
+	return MIMOConfig{
+		SampleRate:           20e6,
+		AmplificationDB:      0,
+		PipelineDelaySamples: 2,
+	}
+}
+
+func TestMIMORelayIdentityForwarding(t *testing.T) {
+	r, err := NewMIMO(basicMIMOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := [][]complex128{{1, 2, 3, 4, 5}, {10, 20, 30, 40, 50}}
+	out := r.Process(in)
+	for s := 0; s < 2; s++ {
+		for i := range in[s] {
+			want := complex128(0)
+			if i >= 2 {
+				want = in[s][i-2]
+			}
+			if cmplx.Abs(out[s][i]-want) > 1e-12 {
+				t.Fatalf("stream %d sample %d: %v, want %v", s, i, out[s][i], want)
+			}
+		}
+	}
+}
+
+func TestMIMORelayPreFilterMatrix(t *testing.T) {
+	// A swap matrix: output 0 carries input 1 and vice versa.
+	cfg := basicMIMOConfig()
+	cfg.PreFilter = [][][]complex128{
+		{{0}, {1}},
+		{{1}, {0}},
+	}
+	r, err := NewMIMO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Process([][]complex128{{1, 0, 0}, {2i, 0, 0}})
+	if cmplx.Abs(out[0][2]-2i) > 1e-12 || cmplx.Abs(out[1][2]-1) > 1e-12 {
+		t.Fatalf("swap filter broken: %v %v", out[0][2], out[1][2])
+	}
+}
+
+func TestMIMORelayRejectsBadConfig(t *testing.T) {
+	cfg := basicMIMOConfig()
+	cfg.PipelineDelaySamples = 0
+	if _, err := NewMIMO(cfg); err == nil {
+		t.Error("zero pipeline delay accepted")
+	}
+	cfg = basicMIMOConfig()
+	cfg.RxNoiseMW = 1
+	if _, err := NewMIMO(cfg); err == nil {
+		t.Error("noise without source accepted")
+	}
+	cfg = basicMIMOConfig()
+	cfg.SampleRate = 0
+	if _, err := NewMIMO(cfg); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}
+
+func TestMIMOCrossTalkCancellation(t *testing.T) {
+	// With the full 2x2 SI matrix (including cross talk) and a matching
+	// canceller, the relayed signal must be a clean delayed copy. With
+	// only the diagonal cancelled, the cross talk residue corrupts it —
+	// the reason Fig 8's architecture has cross-talk taps.
+	src := rng.New(1)
+	si := TypicalMIMOSI(src, -30)
+	in := [][]complex128{src.NoiseVector(3000, 1e-6), src.NoiseVector(3000, 1e-6)}
+
+	full := basicMIMOConfig()
+	full.AmplificationDB = 40
+	full.SITaps = si
+	full.CancelTaps = si
+	rFull, err := NewMIMO(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outFull := rFull.Process(in)
+
+	diagOnly := full
+	diagOnly.CancelTaps = [][][]complex128{
+		{si[0][0], nil},
+		{nil, si[1][1]},
+	}
+	rDiag, err := NewMIMO(diagOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDiag := rDiag.Process(in)
+
+	amp := dsp.AmplitudeFromDB(40)
+	var errFull, errDiag float64
+	for s := 0; s < 2; s++ {
+		want := dsp.Scale(dsp.Delay(in[s], 2), amp)
+		errFull += dsp.Power(dsp.Sub(outFull[s][100:], want[100:]))
+		errDiag += dsp.Power(dsp.Sub(outDiag[s][100:], want[100:]))
+	}
+	sig := dsp.Power(in[0]) * amp * amp
+	if errFull > sig*1e-6 {
+		t.Errorf("full cancellation residual too high: %v vs signal %v", errFull, sig)
+	}
+	if errDiag < errFull*100 {
+		t.Errorf("diagonal-only cancellation should leave cross-talk residue: %v vs %v",
+			errDiag, errFull)
+	}
+}
+
+func TestMIMOFeedbackStability(t *testing.T) {
+	// Same Fig 7 physics in the MIMO loop: amplification above the SI
+	// isolation diverges; below it stays bounded.
+	src := rng.New(2)
+	si := TypicalMIMOSI(src, -40)
+	isolation := -SelfInterferencePowerDB(si)
+	in := [][]complex128{src.NoiseVector(2000, 1), src.NoiseVector(2000, 1)}
+
+	stable := basicMIMOConfig()
+	stable.AmplificationDB = isolation - 8
+	stable.SITaps = si
+	rs, _ := NewMIMO(stable)
+	outS := rs.Process(in)
+	ps := dsp.Power(outS[0][1500:]) + dsp.Power(outS[1][1500:])
+	if math.IsNaN(ps) || math.IsInf(ps, 1) {
+		t.Fatal("stable MIMO loop diverged")
+	}
+
+	unstable := stable
+	unstable.AmplificationDB = isolation + 6
+	ru, _ := NewMIMO(unstable)
+	outU := ru.Process(in)
+	pu := dsp.Power(outU[0][1500:]) + dsp.Power(outU[1][1500:])
+	if !(pu > ps*1e3) && !math.IsInf(pu, 1) && !math.IsNaN(pu) {
+		t.Errorf("expected MIMO divergence when A exceeds isolation: %v vs %v", pu, ps)
+	}
+}
+
+func TestTypicalMIMOSILevels(t *testing.T) {
+	src := rng.New(3)
+	var level float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		si := TypicalMIMOSI(src, -30)
+		level += SelfInterferencePowerDB(si)
+	}
+	level /= trials
+	// Diagonals at -30 dB plus weaker cross talk: aggregate within a few
+	// dB of the nominal level.
+	if level < -33 || level > -25 {
+		t.Errorf("mean SI level %v dB, want ~-29", level)
+	}
+}
+
+func BenchmarkMIMORelayStep(b *testing.B) {
+	src := rng.New(4)
+	si := TypicalMIMOSI(src, -30)
+	cfg := basicMIMOConfig()
+	cfg.SITaps = si
+	cfg.CancelTaps = si
+	cfg.AmplificationDB = 20
+	r, _ := NewMIMO(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step([2]complex128{1, 1i})
+	}
+}

@@ -1,0 +1,182 @@
+// Package relay implements the FastForward relay device as a streaming
+// sample processor, plus the baseline relays the paper compares against.
+//
+// The FFRelay models the full Layer-1 pipeline of Fig 3 at baseband sample
+// resolution: the physical TX→RX self-interference feedback path, causal
+// digital cancellation, CFO removal and restoration (Sec 4.1), the CNF
+// digital pre-filter, amplification, known-noise injection for cancellation
+// tuning, and an explicit pipeline delay (ADC/DAC and any buffering) — the
+// knob the latency experiment (Fig 16) sweeps. Because the transmitted
+// signal feeds back into the received signal, the simulation exhibits the
+// positive-feedback instability of Fig 7 mechanically when amplification
+// exceeds isolation.
+package relay
+
+import (
+	"math"
+	"math/cmplx"
+
+	"fastforward/internal/dsp"
+	"fastforward/internal/rng"
+	"fastforward/internal/sic"
+)
+
+// Config parameterizes an FFRelay.
+type Config struct {
+	// SampleRate in samples/second (20 Msps for the paper's PHY).
+	SampleRate float64
+	// AmplificationDB is the power amplification applied to the cleaned
+	// received signal.
+	AmplificationDB float64
+	// PipelineDelaySamples is the processing latency through the relay in
+	// whole samples (ADC+DAC ≈ 1 sample at 20 Msps, plus any buffering).
+	// Must be at least 1: the transmitted sample cannot depend on the
+	// received sample of the same instant.
+	PipelineDelaySamples int
+	// PreFilterTaps is the CNF digital pre-filter at SampleRate (already
+	// including any analog-stage rotation folded in). Defaults to a unit
+	// impulse (pure amplify-and-forward).
+	PreFilterTaps []complex128
+	// CFOHz is the relay's carrier offset relative to the source. The
+	// relay removes it before filtering and restores it before
+	// transmission so the destination sees the source's CFO unchanged.
+	CFOHz float64
+	// SIChannelTaps is the *physical* residual self-interference channel
+	// (after analog cancellation) at sample spacing.
+	SIChannelTaps []complex128
+	// CancelTaps is the digital canceller's estimate of SIChannelTaps.
+	CancelTaps []complex128
+	// InjectNoiseMW, when positive, continuously adds known Gaussian noise
+	// of this power to the transmission (the tuning probe of Sec 3.3).
+	InjectNoiseMW float64
+	// NoiseSource supplies receiver and injection noise; required when
+	// RxNoiseMW or InjectNoiseMW is positive.
+	NoiseSource *rng.Source
+	// RxNoiseMW is the relay receiver's thermal noise power.
+	RxNoiseMW float64
+}
+
+// FFRelay is a streaming full-duplex relay.
+type FFRelay struct {
+	cfg       Config
+	si        *dsp.FIR
+	canceller *sic.DigitalCanceller
+	pre       *dsp.FIR
+	pipe      *dsp.DelayLine
+	ampLin    float64 // amplitude gain
+	phase     float64 // CFO phase accumulator
+	phaseStep float64
+	// pending is the sample entering the transmit pipeline this instant
+	// (filtered, amplified, CFO-restored).
+	pending complex128
+	// lastInjected holds the most recent injected-noise sample, exposed for
+	// tuning procedures that correlate against the known probe.
+	lastInjected complex128
+}
+
+// New builds the relay. It panics on nonsensical configurations (zero
+// sample rate, pipeline delay < 1).
+func New(cfg Config) *FFRelay {
+	if cfg.SampleRate <= 0 {
+		panic("relay: SampleRate must be positive")
+	}
+	if cfg.PipelineDelaySamples < 1 {
+		panic("relay: PipelineDelaySamples must be >= 1 (no zero-delay loop)")
+	}
+	pre := cfg.PreFilterTaps
+	if len(pre) == 0 {
+		pre = []complex128{1}
+	}
+	si := cfg.SIChannelTaps
+	if len(si) == 0 {
+		si = []complex128{0}
+	}
+	canc := cfg.CancelTaps
+	if len(canc) == 0 {
+		canc = make([]complex128, len(si))
+	}
+	if (cfg.RxNoiseMW > 0 || cfg.InjectNoiseMW > 0) && cfg.NoiseSource == nil {
+		panic("relay: NoiseSource required when noise powers are set")
+	}
+	return &FFRelay{
+		cfg:       cfg,
+		si:        dsp.NewFIR(si),
+		canceller: sic.NewDigitalCanceller(canc),
+		pre:       dsp.NewFIR(pre),
+		// The pending-sample handoff contributes one sample of delay, so
+		// the delay line holds the remainder.
+		pipe:      dsp.NewDelayLine(cfg.PipelineDelaySamples - 1),
+		ampLin:    dsp.AmplitudeFromDB(cfg.AmplificationDB),
+		phaseStep: 2 * math.Pi * cfg.CFOHz / cfg.SampleRate,
+	}
+}
+
+// ProcessingDelayS returns the relay's pipeline latency in seconds.
+func (r *FFRelay) ProcessingDelayS() float64 {
+	return float64(r.cfg.PipelineDelaySamples) / r.cfg.SampleRate
+}
+
+// Step advances the relay by one sample: incoming is the signal arriving
+// over the air from the source (without self-interference — the relay adds
+// that internally). It returns the sample the relay transmits this instant.
+func (r *FFRelay) Step(incoming complex128) complex128 {
+	// 1. The sample leaving the pipeline is transmitted now.
+	var inj complex128
+	if r.cfg.InjectNoiseMW > 0 {
+		inj = r.cfg.NoiseSource.ComplexGaussian(r.cfg.InjectNoiseMW)
+	}
+	r.lastInjected = inj
+
+	// The pipeline output was enqueued PipelineDelaySamples ago; it already
+	// includes filtering and amplification. Add the injection probe.
+	// The transmitted sample left the pipeline PipelineDelaySamples after
+	// it was computed; `pending` (from the previous Step) enters now. A
+	// delay of d thus means tx[n] depends on rx[n-d], never on rx[n].
+	tx := r.pipe.Push(r.pending) + inj
+
+	// 2. Physical reception: incoming + self-interference + thermal noise.
+
+	var noise complex128
+	if r.cfg.RxNoiseMW > 0 {
+		noise = r.cfg.NoiseSource.ComplexGaussian(r.cfg.RxNoiseMW)
+	}
+	rx := incoming + r.si.Push(tx) + noise
+
+	// 3. Causal digital cancellation (zero added latency): uses the TX
+	// samples up to and including this instant.
+	clean := r.canceller.Push(tx, rx)
+
+	// 4. CFO removal, CNF pre-filtering, amplification, CFO restoration.
+	derot := clean * cmplx.Exp(complex(0, -r.phase))
+	filtered := r.pre.Push(derot)
+	rerot := filtered * cmplx.Exp(complex(0, r.phase))
+	r.phase += r.phaseStep
+
+	// 5. Enqueue for transmission after the pipeline delay.
+	r.pending = rerot * complex(r.ampLin, 0)
+	return tx
+}
+
+// Process runs the relay over a block of incoming samples and returns the
+// transmitted samples.
+func (r *FFRelay) Process(incoming []complex128) []complex128 {
+	out := make([]complex128, len(incoming))
+	for i, v := range incoming {
+		out[i] = r.Step(v)
+	}
+	return out
+}
+
+// LastInjected returns the most recent injected-noise sample (the known
+// tuning probe).
+func (r *FFRelay) LastInjected() complex128 { return r.lastInjected }
+
+// Reset clears all filter and pipeline state.
+func (r *FFRelay) Reset() {
+	r.si.Reset()
+	r.canceller.Reset()
+	r.pre.Reset()
+	r.pipe.Reset()
+	r.phase = 0
+	r.pending = 0
+}

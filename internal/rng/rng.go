@@ -1,0 +1,132 @@
+// Package rng provides deterministic, seedable random sources for the
+// simulation: complex Gaussian noise (thermal noise, transmitter noise),
+// Rayleigh/Rician multipath tap generation, random bits, and random unitary
+// matrices for MIMO channel synthesis. Every experiment in the harness is
+// reproducible because all randomness flows through a seeded Source.
+package rng
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Source is a deterministic random source for simulation components.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent Source from this one; useful for giving each
+// simulated device its own stream while keeping the experiment reproducible.
+func (s *Source) Fork() *Source {
+	return New(s.r.Int63())
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Norm returns a standard normal sample.
+func (s *Source) Norm() float64 { return s.r.NormFloat64() }
+
+// Bits returns n uniformly random bits as a byte slice of 0/1 values.
+func (s *Source) Bits(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(s.r.Intn(2))
+	}
+	return b
+}
+
+// ComplexGaussian returns one circularly-symmetric complex Gaussian sample
+// with total variance (power) sigma2: real and imaginary parts each have
+// variance sigma2/2.
+func (s *Source) ComplexGaussian(sigma2 float64) complex128 {
+	sd := math.Sqrt(sigma2 / 2)
+	return complex(sd*s.r.NormFloat64(), sd*s.r.NormFloat64())
+}
+
+// NoiseVector returns n complex Gaussian noise samples with average power
+// sigma2 per sample.
+func (s *Source) NoiseVector(n int, sigma2 float64) []complex128 {
+	v := make([]complex128, n)
+	sd := math.Sqrt(sigma2 / 2)
+	for i := range v {
+		v[i] = complex(sd*s.r.NormFloat64(), sd*s.r.NormFloat64())
+	}
+	return v
+}
+
+// RayleighTap returns a zero-mean complex Gaussian tap with average power p
+// — the classical Rayleigh-fading multipath coefficient.
+func (s *Source) RayleighTap(p float64) complex128 {
+	return s.ComplexGaussian(p)
+}
+
+// RicianTap returns a Rician-fading tap with average power p and K-factor k
+// (ratio of line-of-sight power to scattered power). The LOS component gets
+// a uniformly random phase.
+func (s *Source) RicianTap(p, k float64) complex128 {
+	losP := p * k / (1 + k)
+	scatP := p / (1 + k)
+	los := cmplx.Rect(math.Sqrt(losP), 2*math.Pi*s.r.Float64())
+	return los + s.ComplexGaussian(scatP)
+}
+
+// UniformPhase returns exp(jθ) with θ uniform in [0,2π).
+func (s *Source) UniformPhase() complex128 {
+	return cmplx.Exp(complex(0, 2*math.Pi*s.r.Float64()))
+}
+
+// RandomUnitary returns an n×n Haar-ish random unitary matrix (via
+// Gram-Schmidt on a complex Gaussian matrix), flattened row-major. It is
+// used to synthesize rich-scattering MIMO channels and to seed the CNF
+// filter optimizer with random rotations.
+func (s *Source) RandomUnitary(n int) [][]complex128 {
+	m := make([][]complex128, n)
+	for i := range m {
+		m[i] = make([]complex128, n)
+		for j := range m[i] {
+			m[i][j] = s.ComplexGaussian(1)
+		}
+	}
+	// Gram-Schmidt over rows.
+	for i := 0; i < n; i++ {
+		for k := 0; k < i; k++ {
+			var proj complex128
+			for j := 0; j < n; j++ {
+				proj += m[i][j] * cmplx.Conj(m[k][j])
+			}
+			for j := 0; j < n; j++ {
+				m[i][j] -= proj * m[k][j]
+			}
+		}
+		var norm float64
+		for j := 0; j < n; j++ {
+			norm += real(m[i][j])*real(m[i][j]) + imag(m[i][j])*imag(m[i][j])
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			// Degenerate (probability zero); fall back to a basis vector.
+			m[i][i] = 1
+			continue
+		}
+		inv := complex(1/norm, 0)
+		for j := 0; j < n; j++ {
+			m[i][j] *= inv
+		}
+	}
+	return m
+}
+
+// Shuffle shuffles a slice of ints in place.
+func (s *Source) Shuffle(v []int) {
+	s.r.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+}

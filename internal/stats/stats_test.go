@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4, 5})
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if c.Min() != 1 || c.Max() != 5 {
+		t.Errorf("min/max wrong: %v %v", c.Min(), c.Max())
+	}
+	if c.Median() != 3 {
+		t.Errorf("median = %v", c.Median())
+	}
+	if c.Mean() != 3 {
+		t.Errorf("mean = %v", c.Mean())
+	}
+	if got := c.At(3); got != 0.6 {
+		t.Errorf("At(3) = %v, want 0.6", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+}
+
+func TestCDFDropsNaN(t *testing.T) {
+	c := NewCDF([]float64{1, math.NaN(), 2})
+	if c.N() != 2 {
+		t.Errorf("NaN not dropped: N=%d", c.N())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	if got := c.Percentile(50); got != 5 {
+		t.Errorf("50th pct of {0,10} = %v, want 5", got)
+	}
+	if got := c.Percentile(25); got != 2.5 {
+		t.Errorf("25th pct = %v, want 2.5", got)
+	}
+	if got := c.Percentile(0); got != 0 {
+		t.Errorf("0th pct = %v", got)
+	}
+	if got := c.Percentile(100); got != 10 {
+		t.Errorf("100th pct = %v", got)
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	c := NewCDF(nil)
+	for _, v := range []float64{c.Median(), c.Min(), c.Max(), c.Mean(), c.At(1)} {
+		if !math.IsNaN(v) {
+			t.Error("empty CDF stats should be NaN")
+		}
+	}
+	if pts := c.Points(5); pts != nil {
+		t.Error("empty CDF points should be nil")
+	}
+}
+
+func TestPoints(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	c := NewCDF(samples)
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 99 {
+		t.Errorf("endpoints wrong: %v %v", pts[0], pts[len(pts)-1])
+	}
+	// Y must be nondecreasing and in (0,1].
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("CDF points must be nondecreasing")
+		}
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("last Y = %v, want 1", pts[len(pts)-1].Y)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("median", 3.14159)
+	tb.AddRow("count", 7)
+	out := tb.String()
+	if !strings.Contains(out, "median") || !strings.Contains(out, "3.142") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "----") {
+		t.Errorf("table missing separator:\n%s", out)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		c := NewCDF(vals)
+		return c.Percentile(p1) <= c.Percentile(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMedianIsOrderStatistic(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		m := Median(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return m >= sorted[0] && m <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

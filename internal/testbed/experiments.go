@@ -1,0 +1,233 @@
+package testbed
+
+import (
+	"math"
+
+	"fastforward/internal/floorplan"
+	"fastforward/internal/phyrate"
+	"fastforward/internal/stats"
+)
+
+// This file contains one runner per figure of the paper's evaluation.
+// All relative-gain numbers follow the paper's convention (Sec 5): the
+// baseline is the AP + half-duplex mesh router, because AP-only has
+// zero-throughput dead spots that make ratios undefined.
+
+// GainSet is the paper's relative-gain triple at one location.
+type GainSet struct {
+	APOnly float64 // AP-only / half-duplex baseline
+	FF     float64 // FF relay / half-duplex baseline
+}
+
+// RelativeGains converts evaluations to the paper's gain metric.
+func RelativeGains(evals []Evaluation) []GainSet {
+	out := make([]GainSet, 0, len(evals))
+	for _, e := range evals {
+		if e.HalfDuplexMbps <= 0 {
+			continue // no usable baseline at this spot (rare)
+		}
+		out = append(out, GainSet{
+			APOnly: phyrate.RelativeGain(e.APOnlyMbps, e.HalfDuplexMbps),
+			FF:     phyrate.RelativeGain(e.RelayMbps, e.HalfDuplexMbps),
+		})
+	}
+	return out
+}
+
+// Fig12Result holds the overall-gain CDFs.
+type Fig12Result struct {
+	// FFGain and APOnlyGain are CDFs of throughput relative to the
+	// half-duplex baseline.
+	FFGain, APOnlyGain *stats.CDF
+	// MedianFFvsAP is the median of FF/AP-only — the paper's "3×".
+	MedianFFvsAP float64
+	// MedianFFvsHD is the median of FF/half-duplex — the paper's "2.3×".
+	MedianFFvsHD float64
+	// Edge20thFFvsAP is the FF/AP-only gain at the bottom 20th percentile
+	// of AP-only throughput — the paper's "4× at the edge" — over the
+	// locations where the ratio is finite.
+	Edge20thFFvsAP float64
+	// DeadSpotsRescued counts locations with zero AP-only throughput that
+	// the relay brought back to a usable rate (infinite gain); these are
+	// excluded from the edge-gain median.
+	DeadSpotsRescued int
+}
+
+// RunFig12 runs the overall multi-scenario MIMO experiment.
+func RunFig12(cfg Config) Fig12Result {
+	evals := runAllScenarios(cfg)
+	gains := RelativeGains(evals)
+	ff := make([]float64, 0, len(gains))
+	ap := make([]float64, 0, len(gains))
+	for _, g := range gains {
+		ff = append(ff, g.FF)
+		ap = append(ap, g.APOnly)
+	}
+	res := Fig12Result{
+		FFGain:     stats.NewCDF(ff),
+		APOnlyGain: stats.NewCDF(ap),
+	}
+	res.MedianFFvsHD = res.FFGain.Median()
+	// FF vs AP-only, guarding dead spots (they make the ratio infinite;
+	// the paper quotes medians, which tolerate them).
+	ratios := make([]float64, 0, len(evals))
+	for _, e := range evals {
+		ratios = append(ratios, phyrate.RelativeGain(e.RelayMbps, e.APOnlyMbps))
+	}
+	res.MedianFFvsAP = stats.Median(ratios)
+
+	// Edge clients: bottom 20% by AP-only throughput. Dead spots (AP-only
+	// = 0 rescued to nonzero) have infinite gain; following the paper's
+	// observation that relative gain is uncomputable there (Sec 5), they
+	// are counted separately and the reported edge gain is the median over
+	// the finite ratios.
+	var apRates []float64
+	for _, e := range evals {
+		if e.APOnlyMbps > 0 {
+			apRates = append(apRates, e.APOnlyMbps)
+		} else if e.RelayMbps > 0 {
+			res.DeadSpotsRescued++
+		}
+	}
+	cut := stats.Percentile(apRates, 20)
+	var edge []float64
+	for _, e := range evals {
+		if e.APOnlyMbps > 0 && e.APOnlyMbps <= cut {
+			g := phyrate.RelativeGain(e.RelayMbps, e.APOnlyMbps)
+			if !math.IsInf(g, 1) {
+				edge = append(edge, g)
+			}
+		}
+	}
+	res.Edge20thFFvsAP = stats.Median(edge)
+	return res
+}
+
+// Fig13Result holds absolute-throughput CDFs (Mbps).
+type Fig13Result struct {
+	APOnly, HalfDuplex, FF *stats.CDF
+}
+
+// RunFig13 collects the absolute-throughput comparison.
+func RunFig13(cfg Config) Fig13Result {
+	evals := runAllScenarios(cfg)
+	ap := make([]float64, len(evals))
+	hd := make([]float64, len(evals))
+	ff := make([]float64, len(evals))
+	for i, e := range evals {
+		ap[i] = e.APOnlyMbps
+		hd[i] = e.HalfDuplexMbps
+		ff[i] = e.RelayMbps
+	}
+	return Fig13Result{
+		APOnly:     stats.NewCDF(ap),
+		HalfDuplex: stats.NewCDF(hd),
+		FF:         stats.NewCDF(ff),
+	}
+}
+
+// RunFig14 is the SISO experiment: gains come purely from constructive
+// SNR combining (no MIMO rank expansion).
+func RunFig14(cfg Config) Fig12Result {
+	cfg.MIMO = false
+	return RunFig12(cfg)
+}
+
+// Fig15Result buckets FF gains by client class.
+type Fig15Result struct {
+	// Gains maps each class to the CDF of FF gains vs AP-only (the
+	// "increase in throughput" of the Fig 15 captions). Dead spots with
+	// undefined ratios are excluded.
+	Gains map[phyrate.ClientClass]*stats.CDF
+	// Medians maps each class to its median gain.
+	Medians map[phyrate.ClientClass]float64
+}
+
+// RunFig15 splits the Fig 12 data by the AP-only channel class.
+func RunFig15(cfg Config) Fig15Result {
+	evals := runAllScenarios(cfg)
+	byClass := map[phyrate.ClientClass][]float64{}
+	for _, e := range evals {
+		if e.APOnlyMbps <= 0 {
+			continue
+		}
+		g := phyrate.RelativeGain(e.RelayMbps, e.APOnlyMbps)
+		byClass[e.Class] = append(byClass[e.Class], g)
+	}
+	res := Fig15Result{
+		Gains:   map[phyrate.ClientClass]*stats.CDF{},
+		Medians: map[phyrate.ClientClass]float64{},
+	}
+	for cls, v := range byClass {
+		cdf := stats.NewCDF(v)
+		res.Gains[cls] = cdf
+		res.Medians[cls] = cdf.Median()
+	}
+	return res
+}
+
+// Fig16Point is one latency-sweep sample.
+type Fig16Point struct {
+	LatencyNs  float64
+	MedianGain float64 // median FF gain vs the half-duplex baseline
+}
+
+// RunFig16 sweeps the relay processing latency (the paper varies 100 to
+// ~500 ns by adding artificial buffering).
+func RunFig16(cfg Config, latenciesNs []float64) []Fig16Point {
+	out := make([]Fig16Point, 0, len(latenciesNs))
+	for _, lat := range latenciesNs {
+		c := cfg
+		c.ProcessingDelayNs = lat
+		evals := runAllScenarios(c)
+		gains := RelativeGains(evals)
+		ff := make([]float64, 0, len(gains))
+		for _, g := range gains {
+			ff = append(ff, g.FF)
+		}
+		out = append(out, Fig16Point{LatencyNs: lat, MedianGain: stats.Median(ff)})
+	}
+	return out
+}
+
+// RunFig17 disables construct-and-forward: blind max amplification.
+func RunFig17(cfg Config) Fig12Result {
+	cfg.CNF = false
+	cfg.NoiseRule = false
+	return RunFig12(cfg)
+}
+
+// Fig18Point is one cancellation-sweep sample.
+type Fig18Point struct {
+	CancellationDB float64
+	MedianGain     float64 // median FF PHY throughput gain vs half-duplex
+}
+
+// RunFig18 sweeps the achieved cancellation, which caps amplification.
+func RunFig18(cfg Config, cancellationsDB []float64) []Fig18Point {
+	out := make([]Fig18Point, 0, len(cancellationsDB))
+	for _, c := range cancellationsDB {
+		cc := cfg
+		cc.CancellationDB = c
+		evals := runAllScenarios(cc)
+		gains := RelativeGains(evals)
+		ff := make([]float64, 0, len(gains))
+		for _, g := range gains {
+			ff = append(ff, g.FF)
+		}
+		out = append(out, Fig18Point{CancellationDB: c, MedianGain: stats.Median(ff)})
+	}
+	return out
+}
+
+// runAllScenarios evaluates every Sec 5 scenario and concatenates.
+func runAllScenarios(cfg Config) []Evaluation {
+	var out []Evaluation
+	for i, sc := range floorplan.Scenarios() {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		tb := New(sc, c)
+		out = append(out, tb.RunAll()...)
+	}
+	return out
+}

@@ -1,0 +1,430 @@
+// Package testbed is the evaluation harness: it recreates the paper's
+// indoor experiments (Sec 5) on the simulated substrate. For every client
+// location in a scenario it evaluates the downlink PHY throughput of the
+// paper's three schemes — AP only, AP + half-duplex mesh router, and
+// AP + FastForward relay — plus the blind amplify-and-forward ablation,
+// with full noise accounting, the cancellation-bounded and noise-ruled
+// amplification, CNF filtering (ideal or synthesized), and an explicit
+// inter-symbol-interference penalty when the relayed path exceeds the
+// OFDM cyclic prefix.
+package testbed
+
+import (
+	"math"
+
+	"fastforward/internal/channel"
+	"fastforward/internal/cnf"
+	"fastforward/internal/dsp"
+	"fastforward/internal/floorplan"
+	"fastforward/internal/linalg"
+	"fastforward/internal/ofdm"
+	"fastforward/internal/phyrate"
+	"fastforward/internal/rng"
+	"fastforward/internal/wifi"
+)
+
+// Config controls an evaluation run.
+type Config struct {
+	// Seed drives all randomness (MIMO optimizer restarts).
+	Seed int64
+	// MIMO selects 2×2 MIMO (true) or SISO (false) end to end.
+	MIMO bool
+	// GridSpacingM is the client grid pitch in meters.
+	GridSpacingM float64
+	// CancellationDB is the relay's total self-interference cancellation;
+	// it caps amplification (Fig 7/18). Default 110.
+	CancellationDB float64
+	// ProcessingDelayNs is the relay's processing latency (Fig 16 sweeps
+	// this; the prototype achieves <100 ns).
+	ProcessingDelayNs float64
+	// CNF enables construct-and-forward filtering; false gives the blind
+	// amplify-and-forward of Sec 5.5.
+	CNF bool
+	// NoiseRule enables the Sec 3.5 amplification back-off. The blind
+	// repeater of Sec 5.5 amplifies "to the maximum extent" instead.
+	NoiseRule bool
+	// SynthesizedFilter uses the implementable digital+analog CNF filter
+	// (Sec 3.4) instead of the ideal per-subcarrier response.
+	SynthesizedFilter bool
+	// CarrierStride evaluates every n-th data subcarrier (1 = all 52);
+	// larger strides trade accuracy for speed in wide sweeps.
+	CarrierStride int
+	// TxPowerDBm is the AP's transmit power. The default (15 dBm) matches
+	// WARP-class software radios; combined with NoiseFigureDB it
+	// calibrates the link budget so the client SNR distribution sits where
+	// the paper's Fig 1 heatmap shows (mostly 5-25 dB with dead spots at
+	// the edges).
+	TxPowerDBm float64
+	// NoiseFigureDB is the receiver noise figure over the thermal floor.
+	NoiseFigureDB float64
+	// RelayMaxTxDBm caps the relay's transmit power (its PA limit); the
+	// amplification cannot push the relayed signal beyond it.
+	RelayMaxTxDBm float64
+}
+
+// DefaultConfig returns the paper's operating point: 2×2 MIMO, 110 dB
+// cancellation, sub-CP latency, CNF with the noise rule, synthesized
+// filters.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		MIMO:              true,
+		GridSpacingM:      1.0,
+		CancellationDB:    110,
+		ProcessingDelayNs: 100,
+		CNF:               true,
+		NoiseRule:         true,
+		SynthesizedFilter: true,
+		CarrierStride:     4,
+		TxPowerDBm:        0,
+		NoiseFigureDB:     8,
+		RelayMaxTxDBm:     0,
+	}
+}
+
+// Evaluation is the outcome at one client location.
+type Evaluation struct {
+	// Location of the client.
+	Location floorplan.Point
+	// APOnlyMbps, HalfDuplexMbps, RelayMbps are the three schemes' PHY
+	// throughputs; RelayMbps follows the Config (FF or amplify-only).
+	APOnlyMbps, HalfDuplexMbps, RelayMbps float64
+	// APOnlySNRdB is the strongest-stream SNR without any relay.
+	APOnlySNRdB float64
+	// APOnlyStreams is the usable stream count without any relay.
+	APOnlyStreams int
+	// RelayStreams is the stream count with the FF relay.
+	RelayStreams int
+	// APOnlyRank and RelayRank are the effective channel ranks (streams
+	// "possible" in the Fig 2 sense: eigen-channels within 20 dB of the
+	// strongest), before and with the relay.
+	APOnlyRank, RelayRank int
+	// Class is the Fig 15 client category.
+	Class phyrate.ClientClass
+}
+
+// Testbed evaluates clients in one scenario.
+type Testbed struct {
+	cfg      Config
+	scenario floorplan.Scenario
+	params   *ofdm.Params
+	src      *rng.Source
+	carriers []int
+
+	// Cached relay-side state (independent of client position).
+	apRelayPaths []floorplan.Path
+}
+
+// New builds a testbed for a scenario.
+func New(sc floorplan.Scenario, cfg Config) *Testbed {
+	if cfg.CarrierStride < 1 {
+		cfg.CarrierStride = 1
+	}
+	p := ofdm.Default20MHz()
+	var carriers []int
+	for i, k := range p.DataCarriers {
+		if i%cfg.CarrierStride == 0 {
+			carriers = append(carriers, k)
+		}
+	}
+	return &Testbed{
+		cfg:          cfg,
+		scenario:     sc,
+		params:       p,
+		src:          rng.New(cfg.Seed),
+		carriers:     carriers,
+		apRelayPaths: sc.Plan.Trace(sc.AP, sc.Relay, 2),
+	}
+}
+
+// Params exposes the OFDM numerology in use.
+func (tb *Testbed) Params() *ofdm.Params { return tb.params }
+
+// ClientGrid returns the evaluation locations: grid points at the
+// configured spacing, excluding spots on top of the AP or relay.
+func (tb *Testbed) ClientGrid() []floorplan.Point {
+	pts := tb.scenario.Plan.Grid(tb.cfg.GridSpacingM, 0.7)
+	out := pts[:0]
+	for _, pt := range pts {
+		if pt.Dist(tb.scenario.AP) < 1.0 || pt.Dist(tb.scenario.Relay) < 1.0 {
+			continue
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// CPOverlap returns the coherent-combining weight of the relayed path:
+// 1 when the extra delay vs the direct path is within the CP, decaying
+// linearly to 0 as the overlap with the correct FFT window vanishes
+// (Fig 4/6). The second return value is the fraction of relayed power that
+// turns into inter-symbol interference.
+func (tb *Testbed) CPOverlap(directDelayS, relayPathDelayS float64) (useful float64, isiFrac float64) {
+	extra := relayPathDelayS - directDelayS
+	if extra < 0 {
+		extra = 0
+	}
+	cp := tb.params.CPDuration()
+	if extra <= cp {
+		return 1, 0
+	}
+	fftDur := float64(tb.params.NFFT) / tb.params.SampleRate
+	w := 1 - (extra-cp)/fftDur
+	if w < 0 {
+		w = 0
+	}
+	return w, 1 - w*w
+}
+
+// EvaluateClient computes all schemes at one client location.
+func (tb *Testbed) EvaluateClient(client floorplan.Point) Evaluation {
+	sc := tb.scenario
+	sdPaths := sc.Plan.Trace(sc.AP, client, 2)
+	rdPaths := sc.Plan.Trace(sc.Relay, client, 2)
+	ev := Evaluation{Location: client}
+
+	txMW := dsp.WattsFromDBm(tb.cfg.TxPowerDBm) * 1000
+	n0 := channel.NoiseFloorMW() * dsp.Linear(tb.cfg.NoiseFigureDB)
+
+	// Relay power budget: cancellation bound, noise rule, and PA limit.
+	rdAttenDB := -floorplan.AveragePowerGainDB(rdPaths)
+	ampDB := tb.cfg.CancellationDB - cnf.StabilityMarginDB
+	if tb.cfg.NoiseRule {
+		if nr := rdAttenDB - cnf.NoiseMarginDB; nr < ampDB {
+			ampDB = nr
+		}
+	}
+	// PA cap: the amplified signal may not exceed the relay's max TX power.
+	rxAtRelayDBm := tb.cfg.TxPowerDBm + floorplan.AveragePowerGainDB(tb.apRelayPaths)
+	if pa := tb.cfg.RelayMaxTxDBm - rxAtRelayDBm; pa < ampDB {
+		ampDB = pa
+	}
+	if ampDB < 0 {
+		ampDB = 0
+	}
+
+	// ISI weighting: the latest significant relayed energy (multipath tail
+	// of both hops plus processing delay) must land within the CP of the
+	// earliest direct arrival.
+	directDelay := minDelay(sdPaths)
+	relayDelay := maxDelay(tb.apRelayPaths) + maxDelay(rdPaths) +
+		tb.cfg.ProcessingDelayNs*1e-9
+	useful, isiFrac := tb.CPOverlap(directDelay, relayDelay)
+
+	// Residual self-interference after cancellation raises the relay's
+	// effective receiver noise: the relay transmits at rx+amp power and
+	// cancels by CancellationDB, leaving TXrelay−C as in-band residual
+	// (Sec 3.3/Fig 18 — at 110 dB the residual sits at the thermal floor).
+	rxAtRelayMW := txMW * dsp.Linear(floorplan.AveragePowerGainDB(tb.apRelayPaths))
+	relayTxMW := rxAtRelayMW * dsp.Linear(ampDB)
+	relayNoiseMW := n0 + relayTxMW*dsp.Linear(-tb.cfg.CancellationDB)
+
+	if tb.cfg.MIMO {
+		tb.evaluateMIMO(&ev, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
+	} else {
+		tb.evaluateSISO(&ev, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
+	}
+	ev.Class = phyrate.Classify(ev.APOnlySNRdB, ev.APOnlyRank)
+	return ev
+}
+
+func minDelay(paths []floorplan.Path) float64 {
+	if len(paths) == 0 {
+		return 0
+	}
+	d := math.Inf(1)
+	for _, p := range paths {
+		if p.DelayS < d {
+			d = p.DelayS
+		}
+	}
+	return d
+}
+
+// maxDelay returns the latest significant path delay (the tracer already
+// prunes paths more than 40 dB below the strongest).
+func maxDelay(paths []floorplan.Path) float64 {
+	var d float64
+	for _, p := range paths {
+		if p.DelayS > d {
+			d = p.DelayS
+		}
+	}
+	return d
+}
+
+// evaluateSISO fills the evaluation for single-antenna devices.
+func (tb *Testbed) evaluateSISO(ev *Evaluation, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
+	p := tb.params
+	fs := p.SampleRate
+	hsd := floorplan.SISOChannel(sdPaths, fs, 0).ResponseVector(tb.carriers, p.NFFT)
+	hsr := floorplan.SISOChannel(tb.apRelayPaths, fs, 0).ResponseVector(tb.carriers, p.NFFT)
+	hrd := floorplan.SISOChannel(rdPaths, fs, 0).ResponseVector(tb.carriers, p.NFFT)
+
+	// AP only.
+	ev.APOnlyMbps = phyrate.SISORateMbps(p, hsd, txMW, n0, nil)
+	ev.APOnlySNRdB = meanSNRdB(hsd, txMW, n0)
+	ev.APOnlyStreams = 1
+	if ev.APOnlyMbps == 0 {
+		ev.APOnlyStreams = 0
+	}
+
+	// Half-duplex mesh.
+	r1 := phyrate.SISORateMbps(p, hsr, txMW, n0, nil)
+	r2 := phyrate.SISORateMbps(p, hrd, txMW, n0, nil)
+	ev.HalfDuplexMbps = bestHalfDuplex(ev.APOnlyMbps, r1, r2)
+
+	// Relay (FF or amplify-only).
+	var hc []complex128
+	if tb.cfg.CNF {
+		hc = cnf.DesiredSISO(hsd, hsr, hrd, ampDB)
+		if tb.cfg.SynthesizedFilter {
+			impl := cnf.Synthesize(hc, tb.carriers, p.NFFT, fs)
+			hc = impl.ApplyImplementation(tb.carriers, p.NFFT, fs)
+		}
+	} else {
+		amp := complex(dsp.AmplitudeFromDB(ampDB), 0)
+		hc = make([]complex128, len(hsd))
+		for i := range hc {
+			hc[i] = amp
+		}
+	}
+	heff := make([]complex128, len(hsd))
+	extraNoise := make([]float64, len(hsd))
+	w := complex(useful, 0)
+	for i := range hsd {
+		relayed := hrd[i] * hc[i] * hsr[i]
+		heff[i] = hsd[i] + w*relayed
+		g := absSq(hrd[i] * hc[i])
+		// Relay receiver noise (thermal plus residual self-interference)
+		// forwarded to the destination, plus the relayed signal power that
+		// falls outside the CP as ISI.
+		extraNoise[i] = g*relayNoiseMW*useful*useful + isiFrac*(absSq(relayed)*txMW+g*relayNoiseMW)
+	}
+	ev.RelayMbps = phyrate.SISORateMbps(p, heff, txMW, n0, extraNoise)
+	ev.RelayStreams = 1
+	if ev.RelayMbps == 0 {
+		ev.RelayStreams = 0
+	}
+	ev.APOnlyRank = ev.APOnlyStreams
+	ev.RelayRank = ev.RelayStreams
+}
+
+// evaluateMIMO fills the evaluation for 2×2 devices (2-antenna relay).
+func (tb *Testbed) evaluateMIMO(ev *Evaluation, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
+	p := tb.params
+	fs := p.SampleRate
+	const nAnt = 2
+	const diffuse = 0.2 // dense multipath per a ~7 dB indoor Rician K-factor
+	msd := floorplan.MIMOChannelDiffuse(sdPaths, nAnt, nAnt, fs, tb.src, diffuse)
+	msr := floorplan.MIMOChannelDiffuse(tb.apRelayPaths, nAnt, nAnt, fs, tb.src, diffuse)
+	mrd := floorplan.MIMOChannelDiffuse(rdPaths, nAnt, nAnt, fs, tb.src, diffuse)
+
+	Hsd := make([]*linalg.Matrix, len(tb.carriers))
+	Hsr := make([]*linalg.Matrix, len(tb.carriers))
+	Hrd := make([]*linalg.Matrix, len(tb.carriers))
+	for i, k := range tb.carriers {
+		Hsd[i] = msd.FrequencyResponse(k, p.NFFT)
+		Hsr[i] = msr.FrequencyResponse(k, p.NFFT)
+		Hrd[i] = mrd.FrequencyResponse(k, p.NFFT)
+	}
+
+	// AP only.
+	apRes := phyrate.MIMORateMbps(p, Hsd, nil, txMW, n0)
+	ev.APOnlyMbps = apRes.RateMbps
+	ev.APOnlyStreams = apRes.Streams
+	ev.APOnlyRank = apRes.UsableStreams
+	if len(apRes.PerStreamSNRdB) > 0 {
+		ev.APOnlySNRdB = apRes.PerStreamSNRdB[0]
+	} else {
+		ev.APOnlySNRdB = math.Inf(-1)
+	}
+
+	// Half-duplex mesh (MIMO on both hops).
+	r1 := phyrate.MIMORateMbps(p, Hsr, nil, txMW, n0).RateMbps
+	r2 := phyrate.MIMORateMbps(p, Hrd, nil, txMW, n0).RateMbps
+	ev.HalfDuplexMbps = bestHalfDuplex(ev.APOnlyMbps, r1, r2)
+
+	// Relay filter.
+	var FA []*linalg.Matrix
+	if tb.cfg.CNF {
+		FA = cnf.DesiredMIMO(Hsd, Hsr, Hrd, ampDB, tb.src)
+		if tb.cfg.SynthesizedFilter {
+			impl := cnf.SynthesizeMIMO(FA, tb.carriers, p.NFFT, fs)
+			FA = impl.ApplyImplementation(tb.carriers, p.NFFT, fs)
+		}
+	} else {
+		// Blind amplify-and-forward (Sec 5.5): without channel knowledge
+		// there is no MIMO constructive filter — the repeater is a single
+		// receive→transmit chain (as commercial repeaters are, Sec 2), so
+		// its forwarding matrix is rank one.
+		FA = make([]*linalg.Matrix, len(Hsd))
+		blind := linalg.NewMatrix(nAnt, nAnt)
+		blind.Set(0, 0, complex(dsp.AmplitudeFromDB(ampDB), 0))
+		for i := range FA {
+			FA[i] = blind
+		}
+	}
+	Heff := make([]*linalg.Matrix, len(Hsd))
+	cov := make([]*linalg.Matrix, len(Hsd))
+	for i := range Hsd {
+		HrdFA := Hrd[i].Mul(FA[i])
+		Heff[i] = Hsd[i].Add(HrdFA.Mul(Hsr[i]).Scale(useful))
+		cov[i] = phyrate.NoiseCovariance(HrdFA.Scale(useful), n0, relayNoiseMW)
+		if isiFrac > 0 {
+			// Relayed power that falls outside the CP becomes white-ish
+			// interference across antennas.
+			rel := HrdFA.Mul(Hsr[i])
+			isiPow := isiFrac * (rel.FrobeniusNorm()*rel.FrobeniusNorm()*txMW/float64(nAnt) +
+				HrdFA.FrobeniusNorm()*HrdFA.FrobeniusNorm()*relayNoiseMW) / float64(nAnt)
+			for d := 0; d < nAnt; d++ {
+				cov[i].Set(d, d, cov[i].At(d, d)+complex(isiPow, 0))
+			}
+		}
+	}
+	res := phyrate.MIMORateMbps(p, Heff, cov, txMW, n0)
+	ev.RelayMbps = res.RateMbps
+	ev.RelayStreams = res.Streams
+	ev.RelayRank = res.UsableStreams
+}
+
+// RunAll evaluates every grid client and returns the evaluations.
+func (tb *Testbed) RunAll() []Evaluation {
+	grid := tb.ClientGrid()
+	out := make([]Evaluation, 0, len(grid))
+	for _, pt := range grid {
+		out = append(out, tb.EvaluateClient(pt))
+	}
+	return out
+}
+
+func bestHalfDuplex(direct, r1, r2 float64) float64 {
+	two := 0.0
+	if r1 > 0 && r2 > 0 {
+		two = r1 * r2 / (r1 + r2)
+	}
+	if direct > two {
+		return direct
+	}
+	return two
+}
+
+func meanSNRdB(h []complex128, txMW, n0 float64) float64 {
+	var acc float64
+	for _, v := range h {
+		acc += absSq(v)
+	}
+	if len(h) == 0 || n0 <= 0 {
+		return math.Inf(-1)
+	}
+	return dsp.DB(acc / float64(len(h)) * txMW / n0)
+}
+
+func absSq(z complex128) float64 {
+	return real(z)*real(z) + imag(z)*imag(z)
+}
+
+// RateForSNR is re-exported for the heatmaps.
+func RateForSNR(p *ofdm.Params, snrDB float64, streams int) float64 {
+	return wifi.MaxSupportedRateMbps(p, snrDB, streams)
+}

@@ -1,0 +1,380 @@
+package wifi
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fastforward/internal/coding"
+	"fastforward/internal/dsp"
+	"fastforward/internal/fft"
+	"fastforward/internal/modulation"
+	"fastforward/internal/ofdm"
+)
+
+// Codec encodes and decodes complete PHY frames: preamble, SIG symbol and
+// data symbols. One Codec is safe for sequential reuse; it is not
+// goroutine-safe.
+type Codec struct {
+	p   *ofdm.Params
+	pre *ofdm.Preamble
+	mod *ofdm.Modulator
+	dem *ofdm.Demodulator
+}
+
+// NewCodec builds a frame codec over the given numerology.
+func NewCodec(p *ofdm.Params) *Codec {
+	return &Codec{
+		p:   p,
+		pre: ofdm.NewPreamble(p),
+		mod: ofdm.NewModulator(p),
+		dem: ofdm.NewDemodulator(p),
+	}
+}
+
+// Params returns the codec's OFDM numerology.
+func (c *Codec) Params() *ofdm.Params { return c.p }
+
+// Preamble returns the codec's training fields.
+func (c *Codec) Preamble() *ofdm.Preamble { return c.pre }
+
+const (
+	serviceBits   = 16
+	tailBits      = 6
+	scramblerSeed = 93
+	// sigUncodedBits is the SIG field payload before coding: 4 MCS bits,
+	// 14 length bits, 1 even-parity bit, 6 tail bits, 1 pad bit = 26, which
+	// after rate-1/2 coding exactly fills one 52-carrier BPSK symbol.
+	sigUncodedBits = 26
+)
+
+// maxPayload is the largest payload (including the 4-byte FCS) the 14-bit
+// SIG length field can describe.
+const maxPayload = 1<<14 - 1
+
+// Encode builds the waveform for a frame carrying payload at the given MCS.
+// A CRC-32 FCS is appended to the payload before encoding so the receiver
+// can verify integrity. The returned waveform is normalized to unit average
+// sample power.
+func (c *Codec) Encode(payload []byte, m MCS) ([]complex128, error) {
+	if len(payload)+4 > maxPayload {
+		return nil, fmt.Errorf("wifi: payload of %d bytes exceeds maximum", len(payload))
+	}
+	psdu := make([]byte, 0, len(payload)+4)
+	psdu = append(psdu, payload...)
+	fcs := crc32.ChecksumIEEE(payload)
+	psdu = append(psdu, byte(fcs), byte(fcs>>8), byte(fcs>>16), byte(fcs>>24))
+
+	wave := make([]complex128, 0, 4096)
+	wave = append(wave, c.pre.Samples()...)
+
+	sig, err := c.encodeSIG(m.Index, len(psdu))
+	if err != nil {
+		return nil, err
+	}
+	wave = append(wave, sig...)
+
+	data, err := c.encodeData(psdu, m)
+	if err != nil {
+		return nil, err
+	}
+	wave = append(wave, data...)
+
+	// Normalize to unit average power so channel gains are meaningful.
+	pw := dsp.Power(wave)
+	if pw > 0 {
+		dsp.ScaleInPlace(wave, 1/math.Sqrt(pw))
+	}
+	return wave, nil
+}
+
+// encodeSIG builds the one-symbol BPSK rate-1/2 SIG field.
+func (c *Codec) encodeSIG(mcsIdx, lengthBytes int) ([]complex128, error) {
+	if mcsIdx < 0 || mcsIdx > 15 {
+		return nil, fmt.Errorf("wifi: MCS index %d out of SIG range", mcsIdx)
+	}
+	if lengthBytes < 0 || lengthBytes > maxPayload {
+		return nil, fmt.Errorf("wifi: length %d out of SIG range", lengthBytes)
+	}
+	bits := make([]byte, 0, sigUncodedBits)
+	for k := 3; k >= 0; k-- {
+		bits = append(bits, byte(mcsIdx>>k&1))
+	}
+	for k := 13; k >= 0; k-- {
+		bits = append(bits, byte(lengthBytes>>k&1))
+	}
+	var parity byte
+	for _, b := range bits {
+		parity ^= b
+	}
+	bits = append(bits, parity)
+	bits = append(bits, make([]byte, tailBits+1)...) // tail + pad
+	coded := coding.ConvEncode(bits)                 // rate 1/2: 52 bits
+	nCBPS := c.p.NumData()                           // BPSK: 1 bit/carrier
+	il := coding.Interleave(coded, nCBPS, 1)
+	syms, err := modulation.Map(modulation.BPSK, il)
+	if err != nil {
+		return nil, err
+	}
+	return c.mod.Symbol(syms)
+}
+
+// encodeData builds the data symbols for the PSDU at MCS m.
+func (c *Codec) encodeData(psdu []byte, m MCS) ([]complex128, error) {
+	nDBPS := m.BitsPerSymbol(c.p)
+	nBits := serviceBits + 8*len(psdu) + tailBits
+	nSym := (nBits + nDBPS - 1) / nDBPS
+	total := nSym * nDBPS
+
+	bits := make([]byte, 0, total)
+	bits = append(bits, make([]byte, serviceBits)...)
+	for _, b := range psdu {
+		for k := 0; k < 8; k++ { // LSB first, 802.11 convention
+			bits = append(bits, b>>k&1)
+		}
+	}
+	bits = append(bits, make([]byte, tailBits)...)
+	bits = append(bits, make([]byte, total-len(bits))...)
+
+	scrambled := coding.Scramble(bits, scramblerSeed)
+	// Restore zero tail so the decoder trellis terminates (802.11 17.3.5.3).
+	tailStart := serviceBits + 8*len(psdu)
+	for i := 0; i < tailBits; i++ {
+		scrambled[tailStart+i] = 0
+	}
+
+	coded := coding.EncodePunctured(scrambled, m.Rate)
+	nCBPS := c.p.NumData() * m.Scheme.BitsPerSymbol()
+
+	wave := make([]complex128, 0, nSym*c.p.SymbolLen())
+	for s := 0; s < nSym; s++ {
+		symBits := coded[s*nCBPS : (s+1)*nCBPS]
+		il := coding.Interleave(symBits, nCBPS, m.Scheme.BitsPerSymbol())
+		syms, err := modulation.Map(m.Scheme, il)
+		if err != nil {
+			return nil, err
+		}
+		td, err := c.mod.Symbol(syms)
+		if err != nil {
+			return nil, err
+		}
+		wave = append(wave, td...)
+	}
+	return wave, nil
+}
+
+// DecodeResult reports the outcome of frame reception.
+type DecodeResult struct {
+	// Payload is the recovered payload (FCS stripped); nil when FCSOK is
+	// false.
+	Payload []byte
+	// FCSOK reports whether the frame checksum verified.
+	FCSOK bool
+	// MCS is the scheme signalled in the SIG field.
+	MCS MCS
+	// CFOHz is the estimated carrier frequency offset.
+	CFOHz float64
+	// StartIndex is the detected preamble start within the input.
+	StartIndex int
+	// SNRdB is the average post-equalization SNR estimate over data
+	// subcarriers.
+	SNRdB float64
+}
+
+// ErrNoPacket is returned when packet detection finds nothing.
+var ErrNoPacket = errors.New("wifi: no packet detected")
+
+// ErrSIG is returned when the SIG field fails its parity check.
+var ErrSIG = errors.New("wifi: SIG field corrupted")
+
+// syncBackoff advances the FFT trigger a few samples into the cyclic
+// prefix: when a strong relayed (or reflected) copy arrives later than the
+// first path, timing acquisition tends to settle on it, and decoding from
+// there would push the tail of the delay spread out of the CP. Starting
+// early is always safe — the CP absorbs it — and real receivers do the
+// same.
+const syncBackoff = 3
+
+// Decode runs the full receiver on rx: detect, synchronize, estimate CFO
+// and channel, decode SIG, then decode and verify the data.
+func (c *Codec) Decode(rx []complex128) (*DecodeResult, error) {
+	start, ok := ofdm.DetectPacket(rx, c.pre)
+	if !ok {
+		return nil, ErrNoPacket
+	}
+	start -= syncBackoff
+	if start < 0 {
+		start = 0
+	}
+	return c.DecodeAt(rx, start)
+}
+
+// DecodeAt runs the receiver assuming the preamble starts at rx[start].
+func (c *Codec) DecodeAt(rx []complex128, start int) (*DecodeResult, error) {
+	p := c.p
+	if start < 0 || start+c.pre.Len()+p.SymbolLen() > len(rx) {
+		return nil, fmt.Errorf("wifi: truncated frame at %d", start)
+	}
+	frame := rx[start:]
+	cfo := ofdm.EstimateCFO(frame, c.pre)
+	frame = ofdm.CorrectCFO(frame, cfo, p.SampleRate)
+
+	h := ofdm.EstimateChannel(frame, c.pre)
+	if h == nil {
+		return nil, fmt.Errorf("wifi: preamble truncated")
+	}
+	eq := ofdm.NewEqualizer(p, h)
+	noiseVar := c.estimateNoiseVar(frame, h)
+
+	res := &DecodeResult{CFOHz: cfo, StartIndex: start}
+	res.SNRdB = c.meanSNR(h, noiseVar)
+
+	// SIG symbol.
+	off := c.pre.Len()
+	mcsIdx, lengthBytes, err := c.decodeSIG(frame[off:], eq, noiseVar, h)
+	if err != nil {
+		return nil, err
+	}
+	m, err := MCSByIndex(mcsIdx)
+	if err != nil {
+		return nil, ErrSIG
+	}
+	res.MCS = m
+
+	// Data symbols.
+	off += p.SymbolLen()
+	nDBPS := m.BitsPerSymbol(p)
+	nBits := serviceBits + 8*lengthBytes + tailBits
+	nSym := (nBits + nDBPS - 1) / nDBPS
+	if off+nSym*p.SymbolLen() > len(frame) {
+		return nil, fmt.Errorf("wifi: truncated data (%d symbols)", nSym)
+	}
+	nCBPS := p.NumData() * m.Scheme.BitsPerSymbol()
+	soft := make([]float64, 0, nSym*nCBPS)
+	for s := 0; s < nSym; s++ {
+		raw, pilots, err := c.dem.Symbol(frame[off+s*p.SymbolLen():])
+		if err != nil {
+			return nil, err
+		}
+		eqd := eq.Symbol(raw, pilots)
+		symSoft := c.softDemapSymbol(eqd, m.Scheme, h, noiseVar)
+		soft = append(soft, coding.DeinterleaveSoft(symSoft, nCBPS, m.Scheme.BitsPerSymbol())...)
+	}
+	totalBits := nSym * nDBPS
+	scrambled := coding.DecodePunctured(soft, m.Rate, totalBits, false)
+	bits := coding.Scramble(scrambled, scramblerSeed)
+
+	psdu := make([]byte, lengthBytes)
+	for i := range psdu {
+		var b byte
+		for k := 0; k < 8; k++ {
+			b |= bits[serviceBits+8*i+k] << k
+		}
+		psdu[i] = b
+	}
+	if lengthBytes < 4 {
+		return res, fmt.Errorf("wifi: PSDU too short for FCS")
+	}
+	payload := psdu[:lengthBytes-4]
+	want := uint32(psdu[lengthBytes-4]) | uint32(psdu[lengthBytes-3])<<8 |
+		uint32(psdu[lengthBytes-2])<<16 | uint32(psdu[lengthBytes-1])<<24
+	if crc32.ChecksumIEEE(payload) == want {
+		res.FCSOK = true
+		res.Payload = payload
+	}
+	return res, nil
+}
+
+// decodeSIG decodes the SIG symbol and returns the MCS index and PSDU
+// length.
+func (c *Codec) decodeSIG(sym []complex128, eq *ofdm.Equalizer, noiseVar float64, h []complex128) (int, int, error) {
+	raw, pilots, err := c.dem.Symbol(sym)
+	if err != nil {
+		return 0, 0, err
+	}
+	eqd := eq.Symbol(raw, pilots)
+	soft := c.softDemapSymbol(eqd, modulation.BPSK, h, noiseVar)
+	de := coding.DeinterleaveSoft(soft, c.p.NumData(), 1)
+	bits := coding.ViterbiDecode(de, sigUncodedBits, false)
+	var mcsIdx, lengthBytes int
+	for k := 0; k < 4; k++ {
+		mcsIdx = mcsIdx<<1 | int(bits[k])
+	}
+	for k := 4; k < 18; k++ {
+		lengthBytes = lengthBytes<<1 | int(bits[k])
+	}
+	var parity byte
+	for k := 0; k < 18; k++ {
+		parity ^= bits[k]
+	}
+	if parity != bits[18] {
+		return 0, 0, ErrSIG
+	}
+	return mcsIdx, lengthBytes, nil
+}
+
+// softDemapSymbol demaps one equalized OFDM symbol with per-subcarrier
+// noise scaling: after zero-forcing by H(k), the effective noise variance
+// on subcarrier k is noiseVar/|H(k)|².
+func (c *Codec) softDemapSymbol(eqd []complex128, s modulation.Scheme, h []complex128, noiseVar float64) []float64 {
+	p := c.p
+	out := make([]float64, 0, len(eqd)*s.BitsPerSymbol())
+	for i, k := range p.DataCarriers {
+		hk := ofdm.ChannelAt(h, k, p.NFFT)
+		g := real(hk)*real(hk) + imag(hk)*imag(hk)
+		nv := math.Inf(1)
+		if g > 0 {
+			nv = noiseVar / g
+		}
+		out = append(out, modulation.SoftDemap(s, eqd[i:i+1], nv)...)
+	}
+	return out
+}
+
+// estimateNoiseVar measures the post-FFT per-subcarrier noise variance from
+// the difference of the two (identical when noiseless) LTF symbols.
+func (c *Codec) estimateNoiseVar(frame []complex128, h []complex128) float64 {
+	p := c.p
+	o1, o2 := c.pre.LTFSymbolOffsets()
+	if o2+p.NFFT > len(frame) {
+		return 1e-6
+	}
+	var acc float64
+	n := 0
+	b1 := fft.Forward(frame[o1 : o1+p.NFFT])
+	b2 := fft.Forward(frame[o2 : o2+p.NFFT])
+	for _, k := range p.UsedCarriers() {
+		idx := k
+		if idx < 0 {
+			idx += p.NFFT
+		}
+		d := b1[idx] - b2[idx]
+		acc += real(d)*real(d) + imag(d)*imag(d)
+		n++
+	}
+	if n == 0 {
+		return 1e-6
+	}
+	// Var(B1-B2) = 2·Var(noise per bin).
+	v := acc / float64(n) / 2
+	if v <= 0 {
+		v = 1e-12
+	}
+	return v
+}
+
+// meanSNR averages |H|²/noiseVar over data subcarriers, in dB.
+func (c *Codec) meanSNR(h []complex128, noiseVar float64) float64 {
+	p := c.p
+	var acc float64
+	for _, k := range p.DataCarriers {
+		hk := ofdm.ChannelAt(h, k, p.NFFT)
+		acc += real(hk)*real(hk) + imag(hk)*imag(hk)
+	}
+	acc /= float64(p.NumData())
+	if noiseVar <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(acc/noiseVar)
+}
