@@ -1,0 +1,36 @@
+# Developer entry points for the FastForward reproduction.
+#
+# `make check` is the pre-merge gate: the tier-1 flow (build + full test
+# suite) plus `go vet` and a race-detector pass over the packages the
+# parallel sweep engine made concurrent (internal/par, internal/fft,
+# internal/ident, and the testbed's parallel paths).
+
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race pass runs the concurrent packages in full, plus the testbed's
+# parallel-vs-serial determinism tests (the full testbed suite under the
+# race detector takes tens of minutes; the determinism tests exercise every
+# concurrent code path).
+race:
+	$(GO) test -race ./internal/par ./internal/fft ./internal/ident
+	$(GO) test -race -run 'Parallel|Slot|Determinism' ./internal/testbed
+
+check: test vet race
+
+# Record the perf baseline (see EXPERIMENTS.md "Performance baseline").
+bench:
+	$(GO) test -bench . -benchtime 1x .
+	$(GO) test -bench Forward -benchtime 100000x ./internal/fft

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ffsim [-fig all|12|13|14|15|16|17|18] [-seed N] [-grid meters] [-stride n]
+//	ffsim [-fig all|12|13|14|15|16|17|18] [-seed N] [-grid meters] [-stride n] [-workers n]
 package main
 
 import (
@@ -21,11 +21,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	grid := flag.Float64("grid", 1.5, "client grid spacing in meters")
 	stride := flag.Int("stride", 4, "subcarrier evaluation stride (1 = all 52)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results identical)")
 	flag.Parse()
 
 	cfg := testbed.DefaultConfig(*seed)
 	cfg.GridSpacingM = *grid
 	cfg.CarrierStride = *stride
+	cfg.Workers = *workers
 
 	run := func(name string, f func(testbed.Config)) {
 		if *fig == "all" || *fig == name {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fingerprint [-locations N] [-packets N] [-seed N]
+//	fingerprint [-locations N] [-packets N] [-seed N] [-workers n]
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 	locations := flag.Int("locations", 100, "client placements (paper: 100)")
 	packets := flag.Int("packets", 1000, "packets per client (paper: >=1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results identical)")
 	flag.Parse()
 
 	fmt.Println("== Figure 21: sender identification from channel fingerprints ==")
@@ -34,6 +35,7 @@ func main() {
 		cfg := ident.DefaultStudyConfig(mode.threshold)
 		cfg.NLocations = *locations
 		cfg.PacketsPerClient = *packets
+		cfg.Workers = *workers
 		res := ident.RunStudy(rng.New(*seed), cfg)
 		fp := stats.NewCDF(res.FalsePositivePct)
 		fn := stats.NewCDF(res.FalseNegativePct)

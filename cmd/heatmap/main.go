@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	heatmap [-scenario home|open-office|l-corridor|two-wide-rooms] [-grid m]
+//	heatmap [-scenario home|open-office|l-corridor|two-wide-rooms] [-grid m] [-workers n]
 package main
 
 import (
@@ -20,6 +20,7 @@ func main() {
 	name := flag.String("scenario", "home", "scenario name")
 	grid := flag.Float64("grid", 0.75, "grid spacing in meters")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results identical)")
 	flag.Parse()
 
 	var sc floorplan.Scenario
@@ -36,6 +37,7 @@ func main() {
 	}
 	cfg := testbed.DefaultConfig(*seed)
 	cfg.GridSpacingM = *grid
+	cfg.Workers = *workers
 	cells := testbed.Heatmap(sc, cfg)
 
 	fmt.Println("== Figure 1: SNR heatmap (glyphs: ' '<5 '.'<10 ':'<15 '-'<20 '='<25 '+'<30 '*'>=30 dB) ==")

@@ -1,0 +1,89 @@
+package fft
+
+import (
+	"sync"
+	"testing"
+)
+
+// The plan cache must be invisible: repeated transforms of the same length
+// reuse cached tables and still match the naive DFT, for both radix-2 and
+// Bluestein lengths, including under concurrent use by the sweep engine.
+
+func TestCachedPlanParity(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 128, 3, 5, 12, 52, 100} {
+		// Two rounds: the first builds the plan, the second hits the cache.
+		for round := 0; round < 2; round++ {
+			x := randSignal(n, int64(10*n+round))
+			want := naiveDFT(x)
+			if e := maxErr(Forward(x), want); e > 1e-8 {
+				t.Errorf("n=%d round %d: forward error %v vs naive DFT", n, round, e)
+			}
+			if e := maxErr(Inverse(Forward(x)), x); e > 1e-9 {
+				t.Errorf("n=%d round %d: roundtrip error %v", n, round, e)
+			}
+		}
+	}
+}
+
+func TestCachedPlanDeterministic(t *testing.T) {
+	// The same input must give bit-identical output on every call — the
+	// property the parallel sweep determinism guarantee rests on.
+	for _, n := range []int{64, 52} {
+		x := randSignal(n, int64(n))
+		a := Forward(x)
+		b := Forward(x)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: bin %d differs between calls: %v vs %v", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestConcurrentTransformsShareCache(t *testing.T) {
+	// Many goroutines transforming the same lengths concurrently (as the
+	// parallel testbed does) must all agree with the serial result.
+	lengths := []int{64, 52, 100, 128}
+	want := make([][]complex128, len(lengths))
+	for i, n := range lengths {
+		want[i] = Forward(randSignal(n, int64(n)))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, n := range lengths {
+				got := Forward(randSignal(n, int64(n)))
+				for k := range got {
+					if got[k] != want[i][k] {
+						errs <- "concurrent transform diverged from serial result"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func benchTransform(b *testing.B, n int) {
+	x := randSignal(n, int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}
+
+// BenchmarkForward52Bluestein covers the arbitrary-length (chirp-z) path;
+// BenchmarkForward64/1024 in fft_test.go cover the radix-2 path.
+func BenchmarkForward52Bluestein(b *testing.B) { benchTransform(b, 52) }
+
+// BenchmarkForward2048 is the LTE-scale numerology.
+func BenchmarkForward2048(b *testing.B) { benchTransform(b, 2048) }

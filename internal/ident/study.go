@@ -5,6 +5,7 @@ import (
 
 	"fastforward/internal/channel"
 	"fastforward/internal/dsp"
+	"fastforward/internal/par"
 	"fastforward/internal/rng"
 )
 
@@ -35,6 +36,10 @@ type StudyConfig struct {
 	ReenrollEvery int
 	// Subcarriers is the fingerprint dimension (10 STF subcarriers).
 	Subcarriers int
+	// Workers bounds the sweep engine's worker pool for the per-location
+	// Monte-Carlo fan-out: 1 forces the serial reference path, 0 means one
+	// worker per CPU. Results are identical for every value.
+	Workers int
 }
 
 // DefaultStudyConfig mirrors the paper's setup.
@@ -61,14 +66,22 @@ type StudyResult struct {
 	FalseNegativePct []float64
 }
 
-// RunStudy executes the experiment. Determinism follows the source.
+// RunStudy executes the experiment. Determinism follows the source: each
+// location gets its own stream forked serially from src up front, so the
+// per-location results are independent of execution order and the
+// parallel fan-out (cfg.Workers) is bit-identical to the serial path.
 func RunStudy(src *rng.Source, cfg StudyConfig) StudyResult {
 	res := StudyResult{
 		FalsePositivePct: make([]float64, cfg.NLocations),
 		FalseNegativePct: make([]float64, cfg.NLocations),
 	}
 	carriers := stfCarriers(cfg.Subcarriers)
-	for loc := 0; loc < cfg.NLocations; loc++ {
+	srcs := make([]*rng.Source, cfg.NLocations)
+	for i := range srcs {
+		srcs[i] = src.Fork()
+	}
+	par.ForEach(cfg.NLocations, cfg.Workers, func(loc int) {
+		src := srcs[loc]
 		cls := NewClassifier(cfg.Threshold)
 		// Per-client true channels and enrollment. Clients in the same
 		// room see partially-correlated channels (shared dominant paths),
@@ -117,7 +130,7 @@ func RunStudy(src *rng.Source, cfg StudyConfig) StudyResult {
 		}
 		res.FalsePositivePct[loc] = 100 * float64(fp) / float64(total)
 		res.FalseNegativePct[loc] = 100 * float64(fn) / float64(total)
-	}
+	})
 	return res
 }
 

@@ -1,0 +1,32 @@
+package ident
+
+import (
+	"testing"
+
+	"fastforward/internal/rng"
+)
+
+// RunStudy forks one rng stream per location up front, so the parallel
+// fan-out must be bit-identical to the serial path.
+func TestRunStudyParallelMatchesSerial(t *testing.T) {
+	base := DefaultStudyConfig(AggressiveThreshold)
+	base.NLocations = 8
+	base.PacketsPerClient = 60
+
+	serial := base
+	serial.Workers = 1
+	a := RunStudy(rng.New(42), serial)
+
+	parallel := base
+	parallel.Workers = 8
+	b := RunStudy(rng.New(42), parallel)
+
+	for i := 0; i < base.NLocations; i++ {
+		if a.FalsePositivePct[i] != b.FalsePositivePct[i] ||
+			a.FalseNegativePct[i] != b.FalseNegativePct[i] {
+			t.Errorf("location %d differs: serial FP/FN %v/%v, parallel %v/%v",
+				i, a.FalsePositivePct[i], a.FalseNegativePct[i],
+				b.FalsePositivePct[i], b.FalseNegativePct[i])
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package par is the shared parallel-execution layer for the evaluation
+// pipeline. Every hot sweep in the harness (grid cells, scenarios,
+// Monte-Carlo locations, parameter sweep points) is embarrassingly
+// parallel: items never communicate, so they can be fanned out over a
+// bounded worker pool as long as two rules hold:
+//
+//  1. each work item derives all of its randomness from its own index
+//     (never from a shared sequential source), and
+//  2. each item writes only into its own preallocated slot (never a
+//     shared accumulator).
+//
+// Under those rules the results are bit-identical for any worker count,
+// which the testbed's determinism tests assert. ForEach and Map enforce
+// rule 2 structurally; callers are responsible for rule 1 (see
+// fastforward/internal/rng.ItemSeed).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a configured worker count: n >= 1 is used as given,
+// anything else (0, negative) means "one worker per available CPU"
+// (runtime.GOMAXPROCS). Serial execution is therefore spelled Workers: 1,
+// and the zero value of a config struct gets full parallelism.
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines and blocks until all items finish. workers is resolved via
+// Workers, so any value < 1 means GOMAXPROCS. With workers == 1 (or n <= 1)
+// it degenerates to a plain loop on the calling goroutine — the serial
+// reference path the determinism tests compare against.
+//
+// fn must follow the package rules: index-derived randomness, per-slot
+// writes. Panics in fn propagate to the caller (re-raised after all
+// workers stop, so no goroutine is leaked).
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next  int
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		panMu sync.Mutex
+		pan   interface{}
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panMu.Lock()
+							if pan == nil {
+								pan = r
+							}
+							panMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+				panMu.Lock()
+				stop := pan != nil
+				panMu.Unlock()
+				if stop {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+}
+
+// Map applies fn to every index in [0, n) and collects the results in
+// order, using at most workers goroutines (any value < 1 = GOMAXPROCS).
+// Each result is written into its own slot of the output slice, so the
+// output is identical for every worker count.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// FlatMap applies fn to every index in [0, n) and concatenates the result
+// slices in index order. The fan-out is parallel; the concatenation is a
+// deterministic serial pass, so the output layout matches the serial
+// nested-loop equivalent exactly.
+func FlatMap[T any](n, workers int, fn func(i int) []T) []T {
+	parts := Map(n, workers, fn)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(1) != 1 || Workers(7) != 7 {
+		t.Error("explicit worker counts must pass through")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("auto worker count must be at least 1")
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 257
+		seen := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&seen[i], 1)
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Error("fn called for n=0") })
+	ForEach(-5, 4, func(int) { t.Error("fn called for n<0") })
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 100
+	fn := func(i int) int { return i*i + 7 }
+	serial := Map(n, 1, fn)
+	for _, workers := range []int{2, 4, 16} {
+		got := Map(n, workers, fn)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestFlatMapPreservesOrder(t *testing.T) {
+	got := FlatMap(4, 3, func(i int) []int {
+		out := make([]int, i)
+		for j := range out {
+			out[j] = 10*i + j
+		}
+		return out
+	})
+	want := []int{10, 20, 21, 30, 31, 32}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic in fn must propagate to the caller")
+		}
+	}()
+	ForEach(64, 4, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}

@@ -27,6 +27,22 @@ func (s *Source) Fork() *Source {
 	return New(s.r.Int63())
 }
 
+// ItemSeed derives a decorrelated seed for work item i of an experiment
+// seeded with base. Parallel sweeps (internal/par) give every item its own
+// Source seeded this way instead of drawing from a shared sequential
+// stream, which makes results independent of execution order — and hence
+// bit-identical for any worker count. The mixer is splitmix64's
+// finalizer, so neighboring (base, i) pairs map to well-separated streams.
+func ItemSeed(base int64, i int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Keep the seed non-negative so it round-trips through APIs that
+	// treat seeds as int63.
+	return int64(z >> 1)
+}
+
 // Float64 returns a uniform value in [0,1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
 

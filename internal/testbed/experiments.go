@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"fastforward/internal/floorplan"
+	"fastforward/internal/par"
 	"fastforward/internal/phyrate"
 	"fastforward/internal/stats"
 )
@@ -175,19 +176,16 @@ type Fig16Point struct {
 // RunFig16 sweeps the relay processing latency (the paper varies 100 to
 // ~500 ns by adding artificial buffering).
 func RunFig16(cfg Config, latenciesNs []float64) []Fig16Point {
-	out := make([]Fig16Point, 0, len(latenciesNs))
-	for _, lat := range latenciesNs {
+	return par.Map(len(latenciesNs), cfg.Workers, func(i int) Fig16Point {
 		c := cfg
-		c.ProcessingDelayNs = lat
-		evals := runAllScenarios(c)
-		gains := RelativeGains(evals)
+		c.ProcessingDelayNs = latenciesNs[i]
+		gains := RelativeGains(runAllScenarios(c))
 		ff := make([]float64, 0, len(gains))
 		for _, g := range gains {
 			ff = append(ff, g.FF)
 		}
-		out = append(out, Fig16Point{LatencyNs: lat, MedianGain: stats.Median(ff)})
-	}
-	return out
+		return Fig16Point{LatencyNs: latenciesNs[i], MedianGain: stats.Median(ff)}
+	})
 }
 
 // RunFig17 disables construct-and-forward: blind max amplification.
@@ -205,29 +203,28 @@ type Fig18Point struct {
 
 // RunFig18 sweeps the achieved cancellation, which caps amplification.
 func RunFig18(cfg Config, cancellationsDB []float64) []Fig18Point {
-	out := make([]Fig18Point, 0, len(cancellationsDB))
-	for _, c := range cancellationsDB {
+	return par.Map(len(cancellationsDB), cfg.Workers, func(i int) Fig18Point {
 		cc := cfg
-		cc.CancellationDB = c
-		evals := runAllScenarios(cc)
-		gains := RelativeGains(evals)
+		cc.CancellationDB = cancellationsDB[i]
+		gains := RelativeGains(runAllScenarios(cc))
 		ff := make([]float64, 0, len(gains))
 		for _, g := range gains {
 			ff = append(ff, g.FF)
 		}
-		out = append(out, Fig18Point{CancellationDB: c, MedianGain: stats.Median(ff)})
-	}
-	return out
+		return Fig18Point{CancellationDB: cancellationsDB[i], MedianGain: stats.Median(ff)}
+	})
 }
 
-// runAllScenarios evaluates every Sec 5 scenario and concatenates.
+// runAllScenarios evaluates every Sec 5 scenario and concatenates the
+// evaluations in scenario order. Scenarios fan out over the sweep engine;
+// each scenario's grid fans out again inside RunAll. Per-scenario seeds
+// (and per-location seeds below them) keep the concatenation bit-identical
+// to the serial nested loop.
 func runAllScenarios(cfg Config) []Evaluation {
-	var out []Evaluation
-	for i, sc := range floorplan.Scenarios() {
+	scs := floorplan.Scenarios()
+	return par.FlatMap(len(scs), cfg.Workers, func(i int) []Evaluation {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
-		tb := New(sc, c)
-		out = append(out, tb.RunAll()...)
-	}
-	return out
+		return New(scs[i], c).RunAll()
+	})
 }

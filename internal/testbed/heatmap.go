@@ -3,6 +3,7 @@ package testbed
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"fastforward/internal/floorplan"
@@ -19,27 +20,26 @@ type HeatmapCell struct {
 	APOnlyStreams, FFStreams int
 }
 
-// Heatmap evaluates the coverage grid of a scenario (Figs 1 and 2).
+// Heatmap evaluates the coverage grid of a scenario (Figs 1 and 2). The
+// per-cell evaluations run on the parallel sweep engine via RunAll; the
+// MCS inversion table depends only on the testbed params, so it is built
+// once for the whole map rather than per cell.
 func Heatmap(sc floorplan.Scenario, cfg Config) []HeatmapCell {
 	tb := New(sc, cfg)
-	cells := make([]HeatmapCell, 0, 256)
-	for _, pt := range tb.ClientGrid() {
-		ev := tb.EvaluateClient(pt)
-		ffSNR := ev.APOnlySNRdB
-		// Recover the relay-assisted top-stream SNR from the rate result
-		// indirectly: re-evaluate SNR via the evaluation's stream data.
-		// EvaluateClient records streams; SNR with relay comes from the
-		// effective channel, which we expose by re-running the MIMO path.
-		// Simpler and sufficient for the map: report the relay-case SNR as
-		// the SNR implied by the achieved rate and streams.
-		ffSNR = impliedSNRdB(tb, ev.RelayMbps, ev.RelayStreams)
-		cells = append(cells, HeatmapCell{
-			Location:      pt,
+	thresholds := mcsThresholds(tb)
+	evals := tb.RunAll()
+	cells := make([]HeatmapCell, len(evals))
+	for i, ev := range evals {
+		// The relay-assisted top-stream SNR is not directly observable from
+		// the rate result; report the SNR implied by the achieved rate and
+		// stream count — simpler and sufficient for the map.
+		cells[i] = HeatmapCell{
+			Location:      ev.Location,
 			APOnlySNRdB:   ev.APOnlySNRdB,
-			FFSNRdB:       ffSNR,
+			FFSNRdB:       impliedSNRdB(thresholds, ev.RelayMbps, ev.RelayStreams),
 			APOnlyStreams: ev.APOnlyRank,
 			FFStreams:     ev.RelayRank,
-		})
+		}
 	}
 	return cells
 }
@@ -47,13 +47,13 @@ func Heatmap(sc floorplan.Scenario, cfg Config) []HeatmapCell {
 // impliedSNRdB inverts the MCS table: the lowest SNR that supports the
 // achieved per-stream rate. It is a conservative (floor) estimate used
 // only for rendering the coverage map.
-func impliedSNRdB(tb *Testbed, rateMbps float64, streams int) float64 {
+func impliedSNRdB(thresholds []mcsPoint, rateMbps float64, streams int) float64 {
 	if rateMbps <= 0 || streams <= 0 {
 		return 0
 	}
 	perStream := rateMbps / float64(streams)
 	best := 0.0
-	for _, m := range mcsThresholds(tb) {
+	for _, m := range thresholds {
 		if m.rate <= perStream+1e-9 {
 			best = m.snr
 		}
@@ -149,11 +149,7 @@ func sortedKeys(m map[float64]bool) []float64 {
 	for k := range m {
 		out = append(out, k)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Float64s(out)
 	return out
 }
 
@@ -192,14 +188,10 @@ func Summarize(cells []HeatmapCell) SummaryStats {
 }
 
 func median(v []float64) float64 {
-	c := append([]float64(nil), v...)
-	for i := 1; i < len(c); i++ {
-		for j := i; j > 0 && c[j] < c[j-1]; j-- {
-			c[j], c[j-1] = c[j-1], c[j]
-		}
-	}
-	if len(c) == 0 {
+	if len(v) == 0 {
 		return math.NaN()
 	}
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
 	return c[len(c)/2]
 }

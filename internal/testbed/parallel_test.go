@@ -1,0 +1,105 @@
+package testbed
+
+import (
+	"testing"
+
+	"fastforward/internal/floorplan"
+)
+
+// The parallel sweep engine's contract: any worker count produces results
+// bit-identical to the serial path, because every client location derives
+// its own rng stream and writes into its own slot.
+
+func TestHeatmapParallelMatchesSerial(t *testing.T) {
+	sc := floorplan.Scenarios()[0]
+	serial := coarse(1)
+	serial.Workers = 1
+	parallel := coarse(1)
+	parallel.Workers = 8
+
+	a := Heatmap(sc, serial)
+	b := Heatmap(sc, parallel)
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d differs:\nserial   %+v\nparallel %+v", i, a[i], b[i])
+		}
+	}
+	sa, sb := Summarize(a), Summarize(b)
+	if sa != sb {
+		t.Errorf("summaries differ:\nserial   %+v\nparallel %+v", sa, sb)
+	}
+}
+
+func TestRunFig12ParallelMatchesSerial(t *testing.T) {
+	serial := coarse(1)
+	serial.Workers = 1
+	parallel := coarse(1)
+	parallel.Workers = 8
+
+	a := RunFig12(serial)
+	b := RunFig12(parallel)
+	if a.MedianFFvsAP != b.MedianFFvsAP ||
+		a.MedianFFvsHD != b.MedianFFvsHD ||
+		a.Edge20thFFvsAP != b.Edge20thFFvsAP ||
+		a.DeadSpotsRescued != b.DeadSpotsRescued {
+		t.Errorf("headline metrics differ:\nserial   %+v %+v %+v %d\nparallel %+v %+v %+v %d",
+			a.MedianFFvsAP, a.MedianFFvsHD, a.Edge20thFFvsAP, a.DeadSpotsRescued,
+			b.MedianFFvsAP, b.MedianFFvsHD, b.Edge20thFFvsAP, b.DeadSpotsRescued)
+	}
+	if a.FFGain.N() != b.FFGain.N() {
+		t.Fatalf("sample counts differ: %d vs %d", a.FFGain.N(), b.FFGain.N())
+	}
+	// The full CDFs must match point-for-point, not just the medians.
+	for _, p := range []float64{0, 5, 10, 25, 50, 75, 90, 95, 100} {
+		if a.FFGain.Percentile(p) != b.FFGain.Percentile(p) {
+			t.Errorf("FF gain p%.0f differs: %v vs %v", p, a.FFGain.Percentile(p), b.FFGain.Percentile(p))
+		}
+		if a.APOnlyGain.Percentile(p) != b.APOnlyGain.Percentile(p) {
+			t.Errorf("AP-only gain p%.0f differs: %v vs %v", p, a.APOnlyGain.Percentile(p), b.APOnlyGain.Percentile(p))
+		}
+	}
+}
+
+func TestSweepPointsParallelMatchSerial(t *testing.T) {
+	serial := coarse(1)
+	serial.Workers = 1
+	parallel := coarse(1)
+	parallel.Workers = 8
+
+	lats := []float64{100, 450}
+	a16 := RunFig16(serial, lats)
+	b16 := RunFig16(parallel, lats)
+	for i := range a16 {
+		if a16[i] != b16[i] {
+			t.Errorf("Fig 16 point %d differs: %+v vs %+v", i, a16[i], b16[i])
+		}
+	}
+
+	cans := []float64{70, 110}
+	a18 := RunFig18(serial, cans)
+	b18 := RunFig18(parallel, cans)
+	for i := range a18 {
+		if a18[i] != b18[i] {
+			t.Errorf("Fig 18 point %d differs: %+v vs %+v", i, a18[i], b18[i])
+		}
+	}
+}
+
+// TestEvaluateClientMatchesRunAllSlot pins the location-derived-seed
+// property: a standalone evaluation reproduces the corresponding RunAll
+// slot exactly, so callers may mix entry points freely.
+func TestEvaluateClientMatchesRunAllSlot(t *testing.T) {
+	cfg := coarse(5)
+	cfg.Workers = 4
+	tb := New(floorplan.Scenarios()[0], cfg)
+	evals := tb.RunAll()
+	grid := tb.ClientGrid()
+	for _, i := range []int{0, len(grid) / 2, len(grid) - 1} {
+		if got := tb.EvaluateClient(grid[i]); got != evals[i] {
+			t.Errorf("slot %d: direct evaluation differs from RunAll:\n%+v\n%+v", i, got, evals[i])
+		}
+	}
+}

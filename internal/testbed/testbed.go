@@ -18,6 +18,7 @@ import (
 	"fastforward/internal/floorplan"
 	"fastforward/internal/linalg"
 	"fastforward/internal/ofdm"
+	"fastforward/internal/par"
 	"fastforward/internal/phyrate"
 	"fastforward/internal/rng"
 	"fastforward/internal/wifi"
@@ -60,6 +61,11 @@ type Config struct {
 	// RelayMaxTxDBm caps the relay's transmit power (its PA limit); the
 	// amplification cannot push the relayed signal beyond it.
 	RelayMaxTxDBm float64
+	// Workers bounds the worker pool of the parallel sweep engine
+	// (internal/par): 1 forces the serial reference path, 0 (the default)
+	// means one worker per CPU. Results are bit-identical for every value
+	// because each client location derives its own rng stream from Seed.
+	Workers int
 }
 
 // DefaultConfig returns the paper's operating point: 2×2 MIMO, 110 dB
@@ -103,12 +109,13 @@ type Evaluation struct {
 	Class phyrate.ClientClass
 }
 
-// Testbed evaluates clients in one scenario.
+// Testbed evaluates clients in one scenario. After New it is read-only,
+// so one Testbed may evaluate many clients concurrently; all randomness is
+// derived per client location from Config.Seed.
 type Testbed struct {
 	cfg      Config
 	scenario floorplan.Scenario
 	params   *ofdm.Params
-	src      *rng.Source
 	carriers []int
 
 	// Cached relay-side state (independent of client position).
@@ -131,7 +138,6 @@ func New(sc floorplan.Scenario, cfg Config) *Testbed {
 		cfg:          cfg,
 		scenario:     sc,
 		params:       p,
-		src:          rng.New(cfg.Seed),
 		carriers:     carriers,
 		apRelayPaths: sc.Plan.Trace(sc.AP, sc.Relay, 2),
 	}
@@ -176,8 +182,21 @@ func (tb *Testbed) CPOverlap(directDelayS, relayPathDelayS float64) (useful floa
 	return w, 1 - w*w
 }
 
-// EvaluateClient computes all schemes at one client location.
+// clientSeed derives the rng seed for one client location. Seeding by
+// location (rather than by a shared sequential stream) makes every
+// evaluation independent of execution order, which is what lets the
+// parallel sweep engine produce bit-identical results for any worker
+// count — and makes a direct EvaluateClient call reproduce the exact
+// RunAll slot for that location.
+func clientSeed(base int64, client floorplan.Point) int64 {
+	s := rng.ItemSeed(base, int(int64(math.Float64bits(client.X))))
+	return rng.ItemSeed(s, int(int64(math.Float64bits(client.Y))))
+}
+
+// EvaluateClient computes all schemes at one client location. It is safe
+// to call concurrently: all randomness comes from a location-derived seed.
 func (tb *Testbed) EvaluateClient(client floorplan.Point) Evaluation {
+	src := rng.New(clientSeed(tb.cfg.Seed, client))
 	sc := tb.scenario
 	sdPaths := sc.Plan.Trace(sc.AP, client, 2)
 	rdPaths := sc.Plan.Trace(sc.Relay, client, 2)
@@ -220,7 +239,7 @@ func (tb *Testbed) EvaluateClient(client floorplan.Point) Evaluation {
 	relayNoiseMW := n0 + relayTxMW*dsp.Linear(-tb.cfg.CancellationDB)
 
 	if tb.cfg.MIMO {
-		tb.evaluateMIMO(&ev, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
+		tb.evaluateMIMO(&ev, src, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
 	} else {
 		tb.evaluateSISO(&ev, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
 	}
@@ -311,14 +330,14 @@ func (tb *Testbed) evaluateSISO(ev *Evaluation, sdPaths, rdPaths []floorplan.Pat
 }
 
 // evaluateMIMO fills the evaluation for 2×2 devices (2-antenna relay).
-func (tb *Testbed) evaluateMIMO(ev *Evaluation, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
+func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
 	p := tb.params
 	fs := p.SampleRate
 	const nAnt = 2
 	const diffuse = 0.2 // dense multipath per a ~7 dB indoor Rician K-factor
-	msd := floorplan.MIMOChannelDiffuse(sdPaths, nAnt, nAnt, fs, tb.src, diffuse)
-	msr := floorplan.MIMOChannelDiffuse(tb.apRelayPaths, nAnt, nAnt, fs, tb.src, diffuse)
-	mrd := floorplan.MIMOChannelDiffuse(rdPaths, nAnt, nAnt, fs, tb.src, diffuse)
+	msd := floorplan.MIMOChannelDiffuse(sdPaths, nAnt, nAnt, fs, src, diffuse)
+	msr := floorplan.MIMOChannelDiffuse(tb.apRelayPaths, nAnt, nAnt, fs, src, diffuse)
+	mrd := floorplan.MIMOChannelDiffuse(rdPaths, nAnt, nAnt, fs, src, diffuse)
 
 	Hsd := make([]*linalg.Matrix, len(tb.carriers))
 	Hsr := make([]*linalg.Matrix, len(tb.carriers))
@@ -348,7 +367,7 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, sdPaths, rdPaths []floorplan.Pat
 	// Relay filter.
 	var FA []*linalg.Matrix
 	if tb.cfg.CNF {
-		FA = cnf.DesiredMIMO(Hsd, Hsr, Hrd, ampDB, tb.src)
+		FA = cnf.DesiredMIMO(Hsd, Hsr, Hrd, ampDB, src)
 		if tb.cfg.SynthesizedFilter {
 			impl := cnf.SynthesizeMIMO(FA, tb.carriers, p.NFFT, fs)
 			FA = impl.ApplyImplementation(tb.carriers, p.NFFT, fs)
@@ -388,14 +407,15 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, sdPaths, rdPaths []floorplan.Pat
 	ev.RelayRank = res.UsableStreams
 }
 
-// RunAll evaluates every grid client and returns the evaluations.
+// RunAll evaluates every grid client and returns the evaluations, one
+// slot per grid point, fanned out over the parallel sweep engine
+// (Config.Workers bounds the pool; results are bit-identical for any
+// worker count).
 func (tb *Testbed) RunAll() []Evaluation {
 	grid := tb.ClientGrid()
-	out := make([]Evaluation, 0, len(grid))
-	for _, pt := range grid {
-		out = append(out, tb.EvaluateClient(pt))
-	}
-	return out
+	return par.Map(len(grid), tb.cfg.Workers, func(i int) Evaluation {
+		return tb.EvaluateClient(grid[i])
+	})
 }
 
 func bestHalfDuplex(direct, r1, r2 float64) float64 {
