@@ -1,13 +1,15 @@
 # Developer entry points for the FastForward reproduction.
 #
 # `make check` is the pre-merge gate: the tier-1 flow (build + full test
-# suite) plus `go vet` and a race-detector pass over the packages the
+# suite) plus `go vet`, a race-detector pass over the packages the
 # parallel sweep engine made concurrent (internal/par, internal/fft,
-# internal/ident, and the testbed's parallel paths).
+# internal/ident, and the testbed's parallel paths), and a manifest
+# smoke run of every cmd binary (see OBSERVABILITY.md).
 
 GO ?= go
+SMOKE := .smoke
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race check bench manifest-smoke
 
 all: check
 
@@ -28,7 +30,26 @@ race:
 	$(GO) test -race ./internal/par ./internal/fft ./internal/ident
 	$(GO) test -race -run 'Parallel|Slot|Determinism' ./internal/testbed
 
-check: test vet race
+check: test vet race manifest-smoke
+
+# Run every cmd binary with -manifest on a tiny configuration and
+# validate the JSON it writes; ffsim additionally must report nonzero
+# cancellation and amplification metrics (the OBSERVABILITY.md
+# acceptance assertion), and its manifest metrics must be bit-identical
+# between a serial and a 4-worker run.
+manifest-smoke: build
+	rm -rf $(SMOKE) && mkdir -p $(SMOKE)
+	$(GO) run ./cmd/ffsim -fig 12 -grid 4 -stride 13 -workers 1 -manifest $(SMOKE)/ffsim.json > /dev/null
+	$(GO) run ./cmd/ffsim -fig 12 -grid 4 -stride 13 -workers 4 -manifest $(SMOKE)/ffsim-w4.json > /dev/null
+	$(GO) run ./cmd/manifestcheck -require sic.analog_db,sic.total_db,relay.amp_db,testbed.cells $(SMOKE)/ffsim.json
+	$(GO) run ./cmd/manifestcheck -diff $(SMOKE)/ffsim.json $(SMOKE)/ffsim-w4.json
+	$(GO) run ./cmd/heatmap -grid 3 -manifest $(SMOKE)/heatmap.json > /dev/null
+	$(GO) run ./cmd/manifestcheck -require testbed.cells,relay.amp_db $(SMOKE)/heatmap.json
+	$(GO) run ./cmd/cancel -trials 2 -manifest $(SMOKE)/cancel.json > /dev/null
+	$(GO) run ./cmd/manifestcheck -require sic.analog_db,sic.total_db,sic.tune_iterations $(SMOKE)/cancel.json
+	$(GO) run ./cmd/fingerprint -locations 4 -packets 50 -manifest $(SMOKE)/fingerprint.json > /dev/null
+	$(GO) run ./cmd/manifestcheck -require ident.locations,ident.packets $(SMOKE)/fingerprint.json
+	rm -rf $(SMOKE)
 
 # Record the perf baseline (see EXPERIMENTS.md "Performance baseline").
 bench:

@@ -5,14 +5,14 @@
 //
 // Usage:
 //
-//	cancel [-trials N] [-seed N]
+//	cancel [-trials N] [-seed N] [-manifest out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 
-	"fastforward/internal/dsp"
+	"fastforward/cmd/internal/runmeta"
 	"fastforward/internal/rng"
 	"fastforward/internal/sic"
 	"fastforward/internal/stats"
@@ -23,33 +23,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	src := rng.New(*seed)
+	run := runmeta.Begin("cancel")
 	fmt.Println("== Sec 3.3: self-interference cancellation characterization ==")
+	stop := run.Registry().Stage("sic.characterize")
+	results := sic.Characterize(rng.New(*seed), sic.DefaultCharacterizeConfig(*trials), run.Registry())
+	stop()
+
 	var analog, total []float64
-	for i := 0; i < *trials; i++ {
-		si := sic.NewTypicalSIChannel(src)
-		a := sic.NewAnalogCanceller(1.0)
-		analogDB := a.Tune(si, 20e6, 16)
-
-		residual := a.ResidualFIR(si, 20e6, 16, 2)
-		tx := src.NoiseVector(8000, 100)     // 20 dBm
-		noise := src.NoiseVector(8000, 1e-9) // -90 dBm floor
-		rx := dsp.Add(dsp.FilterSame(tx, residual), noise)
-		est, err := sic.EstimateFIR(tx, rx, 24, 0)
-		if err != nil {
-			fmt.Println("estimation failed:", err)
-			continue
-		}
-		clean := sic.NewDigitalCanceller(est).Process(tx, rx)
-		totalDB := sic.MeasureCancellationDB(dsp.Power(tx), dsp.Power(clean))
-
-		fmt.Printf("  placement %2d: analog %5.1f dB, total %5.1f dB\n", i, analogDB, totalDB)
-		analog = append(analog, analogDB)
-		total = append(total, totalDB)
+	for i, c := range results {
+		fmt.Printf("  placement %2d: analog %5.1f dB, total %5.1f dB\n", i, c.AnalogDB, c.TotalDB)
+		analog = append(analog, c.AnalogDB)
+		total = append(total, c.TotalDB)
 	}
 	ac := stats.NewCDF(analog)
 	tc := stats.NewCDF(total)
 	fmt.Printf("analog:  median %.1f dB (paper: ~70 dB; see EXPERIMENTS.md on the gap)\n", ac.Median())
 	fmt.Printf("total:   median %.1f dB, min %.1f dB (paper: 108-110 dB)\n", tc.Median(), tc.Min())
 	fmt.Printf("ceiling: %.0f dB (20 dBm TX over a -90 dBm floor)\n", sic.MaxCancellationDB)
+	run.Finish(*seed, 1)
 }

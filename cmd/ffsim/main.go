@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ffsim [-fig all|12|13|14|15|16|17|18] [-seed N] [-grid meters] [-stride n] [-workers n]
+//	      [-manifest out.json] [-pprof addr] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -11,7 +12,10 @@ import (
 	"fmt"
 	"os"
 
+	"fastforward/cmd/internal/runmeta"
 	"fastforward/internal/phyrate"
+	"fastforward/internal/rng"
+	"fastforward/internal/sic"
 	"fastforward/internal/stats"
 	"fastforward/internal/testbed"
 )
@@ -22,25 +26,41 @@ func main() {
 	grid := flag.Float64("grid", 1.5, "client grid spacing in meters")
 	stride := flag.Int("stride", 4, "subcarrier evaluation stride (1 = all 52)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results identical)")
+	sicTrials := flag.Int("sic-trials", 4, "cancellation-chain placements characterized for the manifest's sic.* metrics (0 disables)")
 	flag.Parse()
 
+	run := runmeta.Begin("ffsim")
 	cfg := testbed.DefaultConfig(*seed)
 	cfg.GridSpacingM = *grid
 	cfg.CarrierStride = *stride
 	cfg.Workers = *workers
+	cfg.Obs = run.Registry()
 
-	run := func(name string, f func(testbed.Config)) {
+	// With a manifest requested, characterize the Sec 3.3 cancellation
+	// chain so sic.analog_db / sic.total_db land next to the figure's
+	// testbed metrics. The figure sweeps themselves model cancellation as
+	// the configured budget (cfg.CancellationDB) and never run the tuner,
+	// so this stage is the only source of measured sic.* numbers.
+	if reg := run.Registry(); reg != nil && *sicTrials > 0 {
+		stop := reg.Stage("sic.characterize")
+		sic.Characterize(rng.New(*seed), sic.DefaultCharacterizeConfig(*sicTrials), reg)
+		stop()
+	}
+
+	runFig := func(name string, f func(testbed.Config)) {
 		if *fig == "all" || *fig == name {
+			stop := cfg.Obs.Stage("fig" + name)
 			f(cfg)
+			stop()
 		}
 	}
-	run("12", fig12)
-	run("13", fig13)
-	run("14", fig14)
-	run("15", fig15)
-	run("16", fig16)
-	run("17", fig17)
-	run("18", fig18)
+	runFig("12", fig12)
+	runFig("13", fig13)
+	runFig("14", fig14)
+	runFig("15", fig15)
+	runFig("16", fig16)
+	runFig("17", fig17)
+	runFig("18", fig18)
 	if *fig != "all" {
 		switch *fig {
 		case "12", "13", "14", "15", "16", "17", "18":
@@ -49,6 +69,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	run.Finish(*seed, *workers)
 }
 
 func printCDF(name string, c *stats.CDF) {

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	fingerprint [-locations N] [-packets N] [-seed N] [-workers n]
+//	fingerprint [-locations N] [-packets N] [-seed N] [-workers n] [-manifest out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"fastforward/cmd/internal/runmeta"
 	"fastforward/internal/ident"
 	"fastforward/internal/rng"
 	"fastforward/internal/stats"
@@ -24,6 +25,7 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results identical)")
 	flag.Parse()
 
+	run := runmeta.Begin("fingerprint")
 	fmt.Println("== Figure 21: sender identification from channel fingerprints ==")
 	for _, mode := range []struct {
 		name      string
@@ -36,6 +38,7 @@ func main() {
 		cfg.NLocations = *locations
 		cfg.PacketsPerClient = *packets
 		cfg.Workers = *workers
+		cfg.Obs = run.Registry()
 		res := ident.RunStudy(rng.New(*seed), cfg)
 		fp := stats.NewCDF(res.FalsePositivePct)
 		fn := stats.NewCDF(res.FalseNegativePct)
@@ -50,4 +53,5 @@ func main() {
 		}
 	}
 	fmt.Println("(paper: ~5% false negatives, ~zero false positives at the aggressive threshold)")
+	run.Finish(*seed, *workers)
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	heatmap [-scenario home|open-office|l-corridor|two-wide-rooms] [-grid m] [-workers n]
+//	        [-manifest out.json]
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"fastforward/cmd/internal/runmeta"
 	"fastforward/internal/floorplan"
 	"fastforward/internal/testbed"
 )
@@ -35,10 +37,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *name)
 		os.Exit(2)
 	}
+	run := runmeta.Begin("heatmap")
 	cfg := testbed.DefaultConfig(*seed)
 	cfg.GridSpacingM = *grid
 	cfg.Workers = *workers
+	cfg.Obs = run.Registry()
+	stop := cfg.Obs.Stage("heatmap." + sc.Name)
 	cells := testbed.Heatmap(sc, cfg)
+	stop()
 
 	fmt.Println("== Figure 1: SNR heatmap (glyphs: ' '<5 '.'<10 ':'<15 '-'<20 '='<25 '+'<30 '*'>=30 dB) ==")
 	fmt.Println("-- AP only --")
@@ -56,4 +62,5 @@ func main() {
 	fmt.Printf("summary: median SNR %.1f -> %.1f dB; 2-stream coverage %.0f%% -> %.0f%%\n",
 		s.MedianAPOnlySNRdB, s.MedianFFSNRdB,
 		100*s.FracAPOnlyTwoStreams, 100*s.FracFFStream2)
+	run.Finish(*seed, *workers)
 }

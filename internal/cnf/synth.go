@@ -71,6 +71,19 @@ func (fi *FilterImpl) LatencyS() float64 {
 	return float64(len(fi.DigitalTaps)-1)/PreFilterRate + AnalogFilterDelayS
 }
 
+// TapEnergy returns the total energy Σ|h|² of the digital pre-filter taps
+// — the manifest metric cnf.tap_energy. A synthesis that needs huge
+// opposing taps to hit its target is fragile (quantization- and
+// staleness-sensitive), so tap energy drifting up flags a degrading fit
+// even while FitErrorDB still looks healthy.
+func (fi *FilterImpl) TapEnergy() float64 {
+	var e float64
+	for _, h := range fi.DigitalTaps {
+		e += real(h)*real(h) + imag(h)*imag(h)
+	}
+	return e
+}
+
 // Synthesize splits a desired per-subcarrier response Hc across the
 // digital pre-filter and the analog rotation filter by alternating least
 // squares (the SCP of Sec 3.4): holding one stage fixed, the other's fit

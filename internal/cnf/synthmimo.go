@@ -88,3 +88,15 @@ func (m *MIMOFilterImpl) LatencyS() float64 {
 	}
 	return worst
 }
+
+// TapEnergy returns the summed digital-tap energy across all antenna
+// pairs (see FilterImpl.TapEnergy) — the MIMO form of cnf.tap_energy.
+func (m *MIMOFilterImpl) TapEnergy() float64 {
+	var e float64
+	for _, row := range m.Pairs {
+		for _, f := range row {
+			e += f.TapEnergy()
+		}
+	}
+	return e
+}

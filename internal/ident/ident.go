@@ -6,6 +6,11 @@
 // clients cannot be modified, so the relay fingerprints the known STF
 // preamble through each client's channel and classifies by
 // phase-compensated minimum distance against its channel database.
+//
+// RunStudy reproduces the Sec 6.1/Fig 21 identification experiment; with
+// StudyConfig.Obs set it records the ident.* run metrics of
+// OBSERVABILITY.md (per-location classification outcomes), recorded
+// order-independently so results match for any worker count.
 package ident
 
 import (

@@ -5,6 +5,7 @@ import (
 
 	"fastforward/internal/channel"
 	"fastforward/internal/dsp"
+	"fastforward/internal/obs"
 	"fastforward/internal/par"
 	"fastforward/internal/rng"
 )
@@ -40,6 +41,10 @@ type StudyConfig struct {
 	// Monte-Carlo fan-out: 1 forces the serial reference path, 0 means one
 	// worker per CPU. Results are identical for every value.
 	Workers int
+	// Obs, when non-nil, receives the ident.* run metrics (per-location
+	// classification decisions; see OBSERVABILITY.md). Recording is
+	// order-independent, so metric values are identical for any Workers.
+	Obs *obs.Registry
 }
 
 // DefaultStudyConfig mirrors the paper's setup.
@@ -75,6 +80,14 @@ func RunStudy(src *rng.Source, cfg StudyConfig) StudyResult {
 		FalsePositivePct: make([]float64, cfg.NLocations),
 		FalseNegativePct: make([]float64, cfg.NLocations),
 	}
+	defer cfg.Obs.Stage("ident.run_study")()
+	locations := cfg.Obs.Counter("ident.locations", "locations")
+	packets := cfg.Obs.Counter("ident.packets", "packets")
+	falsePos := cfg.Obs.Counter("ident.false_positives", "packets")
+	falseNeg := cfg.Obs.Counter("ident.false_negatives", "packets")
+	fpPct := cfg.Obs.Histogram("ident.fp_pct", "%", obs.LinearBuckets(0, 1, 21))
+	fnPct := cfg.Obs.Histogram("ident.fn_pct", "%", obs.LinearBuckets(0, 1, 21))
+
 	carriers := stfCarriers(cfg.Subcarriers)
 	srcs := make([]*rng.Source, cfg.NLocations)
 	for i := range srcs {
@@ -130,6 +143,14 @@ func RunStudy(src *rng.Source, cfg StudyConfig) StudyResult {
 		}
 		res.FalsePositivePct[loc] = 100 * float64(fp) / float64(total)
 		res.FalseNegativePct[loc] = 100 * float64(fn) / float64(total)
+
+		shard := obs.ShardForSeed(int64(loc))
+		locations.Inc(shard)
+		packets.Add(shard, uint64(total))
+		falsePos.Add(shard, uint64(fp))
+		falseNeg.Add(shard, uint64(fn))
+		fpPct.Observe(shard, res.FalsePositivePct[loc])
+		fnPct.Observe(shard, res.FalseNegativePct[loc])
 	})
 	return res
 }

@@ -1,0 +1,336 @@
+// Package obs is the run-observability layer: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, fixed-bucket
+// histograms, and monotonic stage timers) that the relay pipeline records
+// into, and that every cmd binary snapshots into a JSON run manifest (see
+// OBSERVABILITY.md for the schema and the metric↔paper-section map).
+//
+// The design serves two masters at once:
+//
+//   - The deterministic parallel sweep engine (internal/par) must stay
+//     bit-identical for every worker count. All aggregations are therefore
+//     order-independent: counters and histogram bucket counts are integer
+//     sums, histogram value sums are accumulated in fixed-point integers
+//     (associative, unlike float addition), and min/max are computed by
+//     compare-and-swap (commutative). A manifest's metrics section is thus
+//     byte-identical for -workers 1 and -workers N; only the timings
+//     section (wall clock) varies between runs.
+//
+//   - The hot paths must pay nothing when observability is off. A nil
+//     *Registry hands out nil metric handles, and every handle method is
+//     nil-safe, so disabled instrumentation costs one predicted branch.
+//
+// Concurrent recording is striped over NumShards cache-line-padded cells
+// per metric; workers pick a shard (any stable value works — the testbed
+// derives it from each item's seed via ShardForSeed) and the shards are
+// merged at snapshot time.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// NumShards is the stripe width of every metric: a power of two so shard
+// selection is a mask. 16 covers the worker counts the sweep engine uses
+// without bloating per-metric memory (16 × 64 B per counter).
+const NumShards = 16
+
+// shardMask folds any shard index into range.
+const shardMask = NumShards - 1
+
+// fpScale is the fixed-point scale for histogram value sums: 1e9 keeps
+// nanounit precision while leaving ~9.2e9 units of headroom in an int64 —
+// ample for dB, Mbps, and energy values over millions of observations.
+// Integer accumulation is what makes sums order-independent and therefore
+// bit-identical across worker counts.
+const fpScale = 1e9
+
+// ShardForSeed maps an item-derived seed (e.g. the per-client rng seed of
+// a sweep) to a shard index. Using the item's own seed — not the worker id
+// — keeps the mapping identical for every execution schedule.
+func ShardForSeed(seed int64) int {
+	// Mix the low and high halves so grids with regular seed strides still
+	// spread across shards.
+	u := uint64(seed)
+	u ^= u >> 33
+	u *= 0xff51afd7ed558ccd
+	u ^= u >> 33
+	return int(u & shardMask)
+}
+
+// cell is a cache-line-padded atomic counter cell.
+type cell struct {
+	v uint64
+	_ [7]uint64 // pad to 64 bytes against false sharing
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, unit string
+	shards     [NumShards]cell
+}
+
+// Add increments the counter by n in the given shard. Safe on a nil
+// receiver (disabled registry).
+func (c *Counter) Add(shard int, n uint64) {
+	if c == nil {
+		return
+	}
+	atomic.AddUint64(&c.shards[shard&shardMask].v, n)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc(shard int) { c.Add(shard, 1) }
+
+// Value merges the shards.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.shards {
+		t += atomic.LoadUint64(&c.shards[i].v)
+	}
+	return t
+}
+
+// Gauge is a last-set float value. Gauges are only deterministic when set
+// from serial code (setup, final results); inside parallel sweeps use a
+// Histogram instead.
+type Gauge struct {
+	name, unit string
+	bits       uint64
+	set        uint32
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(&g.bits, math.Float64bits(v))
+	atomic.StoreUint32(&g.set, 1)
+}
+
+// Value returns the gauge value and whether it was ever set.
+func (g *Gauge) Value() (float64, bool) {
+	if g == nil || atomic.LoadUint32(&g.set) == 0 {
+		return 0, false
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits)), true
+}
+
+// Histogram distributes float observations over a fixed ascending set of
+// upper-bound buckets (`le` semantics: bucket i counts v <= Bounds[i];
+// one implicit overflow bucket catches the rest), and tracks count, a
+// fixed-point sum, min and max. All state merges order-independently.
+type Histogram struct {
+	name, unit string
+	bounds     []float64
+	// counts holds NumShards stripes of len(bounds)+1 buckets each, with
+	// the stripe stride rounded up to a cache line.
+	counts []uint64
+	stride int
+	sums   [NumShards]int64cell
+	mins   [NumShards]extremeCell
+	maxs   [NumShards]extremeCell
+}
+
+type int64cell struct {
+	v int64
+	_ [7]uint64
+}
+
+type extremeCell struct {
+	bits uint64 // float64 bits; NaN = unset
+	_    [7]uint64
+}
+
+func newHistogram(name, unit string, bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	stride := (len(b) + 1 + 7) &^ 7 // round to 8 uint64s = 64 B
+	h := &Histogram{
+		name:   name,
+		unit:   unit,
+		bounds: b,
+		counts: make([]uint64, NumShards*stride),
+		stride: stride,
+	}
+	unset := math.Float64bits(math.NaN())
+	for i := range h.mins {
+		h.mins[i].bits = unset
+		h.maxs[i].bits = unset
+	}
+	return h
+}
+
+// Observe records v into the given shard. Non-finite values are dropped
+// (they would poison the fixed-point sum); callers guard upstream if they
+// care. Safe on a nil receiver.
+func (h *Histogram) Observe(shard int, v float64) {
+	if h == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	s := shard & shardMask
+	// First bucket whose upper bound is >= v; len(bounds) = overflow.
+	b := sort.SearchFloat64s(h.bounds, v)
+	atomic.AddUint64(&h.counts[s*h.stride+b], 1)
+	atomic.AddInt64(&h.sums[s].v, int64(math.Round(v*fpScale)))
+	casExtreme(&h.mins[s].bits, v, func(cur float64) bool { return v < cur })
+	casExtreme(&h.maxs[s].bits, v, func(cur float64) bool { return v > cur })
+}
+
+func casExtreme(bits *uint64, v float64, better func(cur float64) bool) {
+	for {
+		old := atomic.LoadUint64(bits)
+		cur := math.Float64frombits(old)
+		if !math.IsNaN(cur) && !better(cur) {
+			return
+		}
+		if atomic.CompareAndSwapUint64(bits, old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count merges the total observation count.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var t uint64
+	for s := 0; s < NumShards; s++ {
+		for b := 0; b <= len(h.bounds); b++ {
+			t += atomic.LoadUint64(&h.counts[s*h.stride+b])
+		}
+	}
+	return t
+}
+
+// Sum merges the fixed-point value sum back into float units.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	var t int64
+	for s := range h.sums {
+		t += atomic.LoadInt64(&h.sums[s].v)
+	}
+	return float64(t) / fpScale
+}
+
+// StageTimer accumulates monotonic wall-clock time and call counts for one
+// named pipeline stage. Timings are inherently run-dependent; they live in
+// the manifest's timings section, not the deterministic metrics section.
+type StageTimer struct {
+	name  string
+	ns    int64
+	calls uint64
+}
+
+func (t *StageTimer) add(ns int64) {
+	if t == nil {
+		return
+	}
+	atomic.AddInt64(&t.ns, ns)
+	atomic.AddUint64(&t.calls, 1)
+}
+
+// Registry owns the metric namespace of one run. The zero value is not
+// usable; construct with New. A nil *Registry is the disabled state: all
+// lookups return nil handles whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*StageTimer
+}
+
+// New creates an empty enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		timers:   map[string]*StageTimer{},
+	}
+}
+
+// Counter returns (creating on first use) the named counter. Nil-safe:
+// returns nil on a disabled registry.
+func (r *Registry) Counter(name, unit string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name, unit: unit}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name, unit string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, unit: unit}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with the
+// given fixed bucket upper bounds. The layout is fixed at first creation;
+// later lookups ignore the bounds argument.
+func (r *Registry) Histogram(name, unit string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(name, unit, bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Stage starts (or resumes) the named stage timer and returns a stop
+// function. Nil-safe: a disabled registry returns a no-op stop.
+func (r *Registry) Stage(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &StageTimer{name: name}
+		r.timers[name] = t
+	}
+	r.mu.Unlock()
+	start := nowNanos()
+	return func() { t.add(nowNanos() - start) }
+}
+
+// LinearBuckets returns n ascending bounds start, start+width, ... — the
+// fixed layouts OBSERVABILITY.md documents per metric.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketEdges pins the `le` semantics: a value exactly on a
+// bucket's upper bound lands in that bucket, anything above the last bound
+// lands in the overflow bucket, and bounds are sorted at creation.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := New()
+	h := r.Histogram("edge", "dB", []float64{10, 0, 20}) // unsorted on purpose
+	for _, v := range []float64{-5, 0, 0.0001, 10, 10.0001, 20, 25} {
+		h.Observe(0, v)
+	}
+	snap := r.Snapshot().Metrics["edge"]
+	if len(snap.Buckets) != 4 {
+		t.Fatalf("want 3 bounds + overflow, got %d buckets", len(snap.Buckets))
+	}
+	wantLE := []float64{0, 10, 20}
+	wantCount := []uint64{2, 2, 2, 1} // {-5,0} {0.0001,10} {10.0001,20} {25}
+	for i, b := range snap.Buckets {
+		if i < 3 {
+			if b.LE == nil || *b.LE != wantLE[i] {
+				t.Errorf("bucket %d: le = %v, want %v", i, b.LE, wantLE[i])
+			}
+		} else if b.LE != nil {
+			t.Errorf("overflow bucket has le = %v, want nil (+Inf)", *b.LE)
+		}
+		if b.Count != wantCount[i] {
+			t.Errorf("bucket %d: count = %d, want %d", i, b.Count, wantCount[i])
+		}
+	}
+	if snap.Count != 7 {
+		t.Errorf("count = %d, want 7", snap.Count)
+	}
+	if *snap.Min != -5 || *snap.Max != 25 {
+		t.Errorf("min/max = %v/%v, want -5/25", *snap.Min, *snap.Max)
+	}
+}
+
+// TestHistogramDropsNonFinite guards the fixed-point sum.
+func TestHistogramDropsNonFinite(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", "", []float64{1})
+	h.Observe(0, math.Inf(1))
+	h.Observe(0, math.Inf(-1))
+	h.Observe(0, math.NaN())
+	h.Observe(0, 0.5)
+	snap := r.Snapshot().Metrics["h"]
+	if snap.Count != 1 || *snap.Sum != 0.5 {
+		t.Errorf("count/sum = %d/%v, want 1/0.5", snap.Count, *snap.Sum)
+	}
+}
+
+// TestShardedMergeDeterminism hammers every metric kind from many
+// goroutines with scheduler-dependent interleaving and shard assignment,
+// and asserts the merged snapshot matches both the expected totals and a
+// serial reference run bit for bit. Run under -race by `make check`.
+func TestShardedMergeDeterminism(t *testing.T) {
+	const goroutines = 8
+	const perG = 500
+
+	record := func(r *Registry, parallel bool) {
+		c := r.Counter("c", "items")
+		h := r.Histogram("h", "dB", LinearBuckets(0, 10, 10))
+		work := func(g int) {
+			for i := 0; i < perG; i++ {
+				shard := ShardForSeed(int64(g*perG + i))
+				c.Inc(shard)
+				h.Observe(shard, float64(i%97)+0.125)
+			}
+		}
+		if !parallel {
+			for g := 0; g < goroutines; g++ {
+				work(g)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) { defer wg.Done(); work(g) }(g)
+		}
+		wg.Wait()
+	}
+
+	serial, par := New(), New()
+	record(serial, false)
+	record(par, true)
+
+	sm, pm := serial.Snapshot().Metrics, par.Snapshot().Metrics
+	if !reflect.DeepEqual(sm, pm) {
+		t.Fatalf("parallel snapshot differs from serial:\nserial:   %+v\nparallel: %+v", sm, pm)
+	}
+	if got := *pm["c"].Value; got != goroutines*perG {
+		t.Errorf("counter = %v, want %d", got, goroutines*perG)
+	}
+	if pm["h"].Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", pm["h"].Count, goroutines*perG)
+	}
+	// The fixed-point sum must be exact, not merely close.
+	var want float64
+	for i := 0; i < perG; i++ {
+		want += float64(i%97) + 0.125
+	}
+	want *= goroutines
+	if got := *pm["h"].Sum; math.Abs(got-want) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+// TestNilRegistryIsNoOp: the disabled state must be safe and free on every
+// handle type.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "").Inc(3)
+	r.Gauge("g", "").Set(1)
+	r.Histogram("h", "", []float64{1}).Observe(0, 2)
+	stop := r.Stage("s")
+	stop()
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 0 || len(snap.Timings) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	if v, ok := r.Gauge("g", "").Value(); ok || v != 0 {
+		t.Errorf("nil gauge Value = %v,%v", v, ok)
+	}
+}
+
+// TestSnapshotJSONShape pins the serialized form OBSERVABILITY.md and
+// cmd/manifestcheck rely on: sorted map keys, le:null overflow bucket,
+// gauge/counter scalar values.
+func TestSnapshotJSONShape(t *testing.T) {
+	r := New()
+	r.Counter("z.count", "items").Add(0, 2)
+	r.Gauge("a.gauge", "dB").Set(54.5)
+	r.Histogram("m.hist", "dB", []float64{1}).Observe(0, 3)
+	stop := r.Stage("stage1")
+	stop()
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Metrics map[string]json.RawMessage `json:"metrics"`
+		Timings []StageTiming              `json:"timings"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"z.count", "a.gauge", "m.hist"} {
+		if _, ok := decoded.Metrics[k]; !ok {
+			t.Errorf("metric %q missing from JSON", k)
+		}
+	}
+	if len(decoded.Timings) != 1 || decoded.Timings[0].Stage != "stage1" || decoded.Timings[0].Calls != 1 {
+		t.Errorf("timings = %+v", decoded.Timings)
+	}
+}
+
+// TestGaugeLastSet verifies gauges report the final value.
+func TestGaugeLastSet(t *testing.T) {
+	r := New()
+	g := r.Gauge("g", "dB")
+	g.Set(1)
+	g.Set(42)
+	if v, ok := g.Value(); !ok || v != 42 {
+		t.Errorf("gauge = %v,%v want 42,true", v, ok)
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// base anchors the monotonic clock used by stage timers.
+var base = time.Now()
+
+func nowNanos() int64 { return int64(time.Since(base)) }
+
+// Bucket is one histogram bucket in a snapshot. LE is the inclusive upper
+// bound; nil means +Inf (the overflow bucket) — JSON cannot carry
+// infinities.
+type Bucket struct {
+	LE    *float64 `json:"le"`
+	Count uint64   `json:"count"`
+}
+
+// MetricSnapshot is the merged, serializable state of one metric. Exactly
+// one of the Type-specific field groups is populated.
+type MetricSnapshot struct {
+	Type string `json:"type"` // "counter" | "gauge" | "histogram"
+	Unit string `json:"unit,omitempty"`
+
+	// Counter / gauge value. Counters store the integer total; gauges the
+	// last value set.
+	Value *float64 `json:"value,omitempty"`
+
+	// Histogram aggregates. Sum carries fixed-point precision of 1e-9
+	// units; Min/Max are omitted when the histogram is empty.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     *float64 `json:"sum,omitempty"`
+	Min     *float64 `json:"min,omitempty"`
+	Max     *float64 `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// StageTiming is one stage timer's snapshot. Wall-clock seconds are not
+// deterministic across runs or worker counts — manifest diffs should
+// compare them only as performance indicators.
+type StageTiming struct {
+	Stage  string  `json:"stage"`
+	Calls  uint64  `json:"calls"`
+	TotalS float64 `json:"total_s"`
+}
+
+// Snapshot is the merged state of a registry: the deterministic metrics
+// map (bit-identical for any worker count) plus the run-dependent stage
+// timings.
+type Snapshot struct {
+	Metrics map[string]MetricSnapshot `json:"metrics"`
+	Timings []StageTiming             `json:"timings"`
+}
+
+// Snapshot merges all shards of all metrics. Nil-safe: a disabled registry
+// yields an empty (but non-nil-map) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Metrics: map[string]MetricSnapshot{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		v := float64(c.Value())
+		snap.Metrics[name] = MetricSnapshot{Type: "counter", Unit: c.unit, Value: &v}
+	}
+	for name, g := range r.gauges {
+		if v, ok := g.Value(); ok {
+			vv := v
+			snap.Metrics[name] = MetricSnapshot{Type: "gauge", Unit: g.unit, Value: &vv}
+		}
+	}
+	for name, h := range r.hists {
+		snap.Metrics[name] = h.snapshot()
+	}
+	for name, t := range r.timers {
+		snap.Timings = append(snap.Timings, StageTiming{
+			Stage:  name,
+			Calls:  atomic.LoadUint64(&t.calls),
+			TotalS: float64(atomic.LoadInt64(&t.ns)) / 1e9,
+		})
+	}
+	sort.Slice(snap.Timings, func(i, j int) bool { return snap.Timings[i].Stage < snap.Timings[j].Stage })
+	return snap
+}
+
+func (h *Histogram) snapshot() MetricSnapshot {
+	ms := MetricSnapshot{Type: "histogram", Unit: h.unit}
+	buckets := make([]Bucket, len(h.bounds)+1)
+	for b := range buckets {
+		if b < len(h.bounds) {
+			le := h.bounds[b]
+			buckets[b].LE = &le
+		}
+		for s := 0; s < NumShards; s++ {
+			buckets[b].Count += atomic.LoadUint64(&h.counts[s*h.stride+b])
+		}
+		ms.Count += buckets[b].Count
+	}
+	ms.Buckets = buckets
+	sum := h.Sum()
+	ms.Sum = &sum
+	min, max := math.NaN(), math.NaN()
+	for s := 0; s < NumShards; s++ {
+		lo := math.Float64frombits(atomic.LoadUint64(&h.mins[s].bits))
+		hi := math.Float64frombits(atomic.LoadUint64(&h.maxs[s].bits))
+		if !math.IsNaN(lo) && (math.IsNaN(min) || lo < min) {
+			min = lo
+		}
+		if !math.IsNaN(hi) && (math.IsNaN(max) || hi > max) {
+			max = hi
+		}
+	}
+	if !math.IsNaN(min) {
+		ms.Min = &min
+	}
+	if !math.IsNaN(max) {
+		ms.Max = &max
+	}
+	return ms
+}

@@ -1,0 +1,85 @@
+package relay
+
+import "fastforward/internal/cnf"
+
+// AmpBound names which constraint of the Sec 3.5 amplification rule
+//
+//	A = min(C − stability margin, a − noise margin, PA headroom)
+//
+// was the binding one — the quantity a run manifest records so a
+// regression in any single bound (e.g. the analog tuner degrading C) is
+// visible even when the end-to-end throughput barely moves.
+type AmpBound int
+
+const (
+	// AmpBoundCancellation: the feedback-stability bound C − margin was
+	// active (Fig 7 — amplifying past isolation oscillates).
+	AmpBoundCancellation AmpBound = iota
+	// AmpBoundNoiseRule: the Sec 3.5 noise rule a − 3 dB was active (relay
+	// noise must land below the destination's noise floor).
+	AmpBoundNoiseRule
+	// AmpBoundPALimit: the relay's transmit power amplifier cap was active.
+	AmpBoundPALimit
+	// AmpBoundFloor: every bound was negative, so amplification clamps to
+	// 0 dB (the relay cannot help at this placement).
+	AmpBoundFloor
+)
+
+// String names the bound for metrics and manifests.
+func (b AmpBound) String() string {
+	switch b {
+	case AmpBoundCancellation:
+		return "cancellation"
+	case AmpBoundNoiseRule:
+		return "noise_rule"
+	case AmpBoundPALimit:
+		return "pa_limit"
+	case AmpBoundFloor:
+		return "floor"
+	}
+	return "unknown"
+}
+
+// AmpDecision is the outcome of the relay's amplification choice.
+type AmpDecision struct {
+	// AmpDB is the chosen power amplification (>= 0).
+	AmpDB float64
+	// Bound identifies which term of the min() produced AmpDB.
+	Bound AmpBound
+	// StabilityHeadroomDB is cancellation − AmpDB: the margin to the
+	// positive-feedback instability of Fig 7. Never below the configured
+	// stability margin unless the floor clamp raised it.
+	StabilityHeadroomDB float64
+}
+
+// ChooseAmplificationDB applies the full device-level amplification rule:
+// the cancellation-bounded stability term and Sec 3.5 noise rule of
+// cnf.AmplificationLimitDB, plus the power-amplifier cap that hardware
+// adds on top. rdAttenDB is the relay→destination path attenuation
+// (positive dB); paHeadroomDB is maxTxPower − rxPowerAtRelay in dB (how
+// much gain the PA allows before clipping); noiseRule false disables the
+// Sec 3.5 back-off (the blind repeater of Sec 5.5 amplifies to the
+// maximum extent).
+func ChooseAmplificationDB(cancellationDB, rdAttenDB, paHeadroomDB float64, noiseRule bool) AmpDecision {
+	amp := cancellationDB - cnf.StabilityMarginDB
+	bound := AmpBoundCancellation
+	if noiseRule {
+		if nr := rdAttenDB - cnf.NoiseMarginDB; nr < amp {
+			amp = nr
+			bound = AmpBoundNoiseRule
+		}
+	}
+	if paHeadroomDB < amp {
+		amp = paHeadroomDB
+		bound = AmpBoundPALimit
+	}
+	if amp < 0 {
+		amp = 0
+		bound = AmpBoundFloor
+	}
+	return AmpDecision{
+		AmpDB:               amp,
+		Bound:               bound,
+		StabilityHeadroomDB: cancellationDB - amp,
+	}
+}

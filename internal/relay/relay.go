@@ -10,6 +10,11 @@
 // signal feeds back into the received signal, the simulation exhibits the
 // positive-feedback instability of Fig 7 mechanically when amplification
 // exceeds isolation.
+//
+// ChooseAmplificationDB centralizes the device's amplification rule —
+// A = min(C − stability margin, a − noise margin, PA headroom) — and
+// reports which bound was active (AmpDecision), the quantity behind the
+// relay.amp_db / relay.amp_bound.* run metrics of OBSERVABILITY.md.
 package relay
 
 import (

@@ -7,6 +7,12 @@
 // to relays — where the transmitted signal is a delayed copy of the
 // received signal, so a naive adaptive canceller nulls the desired signal
 // too.
+//
+// Characterize runs the whole chain over simulated relay placements and
+// records the sic.* run metrics (analog, unquantized-fit and total
+// cancellation, digital residual, tuner iteration counts) documented in
+// OBSERVABILITY.md; AnalogCanceller.LastTune exposes the same per-tune
+// telemetry programmatically.
 package sic
 
 import (
@@ -148,6 +154,8 @@ type AnalogCanceller struct {
 	RefAmps []float64
 	// AttenDB holds each tap's attenuator setting; math.Inf(1) = tap off.
 	AttenDB []float64
+	// LastTune holds observability stats from the most recent Tune call.
+	LastTune TuneStats
 }
 
 // Attenuator quantization per the prototype (Sec 4.3).
@@ -195,6 +203,23 @@ func (a *AnalogCanceller) FreqResponse(f float64) complex128 {
 	return acc
 }
 
+// TuneStats records the work and intermediate quality of the most recent
+// Tune call, for run manifests: the unquantized NNLS fit is the ceiling
+// the attenuator grid is quantizing toward, so a drop in QuantizedDB with
+// a steady UnquantizedDB points at the quantization/descent stages, while
+// a drop in both points at the SI environment or the fit itself.
+type TuneStats struct {
+	// UnquantizedDB is the continuous (un-quantized, all-taps-free) NNLS
+	// fit's cancellation — the tuner's upper bound (EXPERIMENTS.md note 1
+	// reports 62–74 dB).
+	UnquantizedDB float64
+	// QuantizedDB is the cancellation achieved after quantized tuning.
+	QuantizedDB float64
+	// RefineIterations counts coordinate-descent sweeps across all refine
+	// and pair-refine passes (including basin hops).
+	RefineIterations int
+}
+
 // Tune fits the attenuators to cancel the SI channel over the band
 // [-bw/2, +bw/2], sampled at nFreq points. The fit is a sequential
 // noise-shaping quantization: taps are fixed one at a time from the
@@ -202,7 +227,8 @@ func (a *AnalogCanceller) FreqResponse(f float64) complex128 {
 // squares over the still-free taps so they absorb the quantization error
 // of the taps already fixed — followed by a coordinate-descent polish of
 // the attenuator settings (the baseband tuning loop of Sec 4.3). It
-// returns the achieved in-band cancellation in dB.
+// returns the achieved in-band cancellation in dB and leaves per-call
+// observability in LastTune.
 func (a *AnalogCanceller) Tune(si *SIChannel, bw float64, nFreq int) float64 {
 	if nFreq < 2 {
 		nFreq = 2
@@ -211,6 +237,7 @@ func (a *AnalogCanceller) Tune(si *SIChannel, bw float64, nFreq int) float64 {
 	for i := range freqs {
 		freqs[i] = -bw/2 + bw*float64(i)/float64(nFreq-1)
 	}
+	a.LastTune = TuneStats{UnquantizedDB: a.UnquantizedFitDB(si, bw, nFreq)}
 	nT := len(a.TapDelaysS)
 	for i := range a.AttenDB {
 		a.AttenDB[i] = math.Inf(1)
@@ -244,8 +271,8 @@ func (a *AnalogCanceller) Tune(si *SIChannel, bw float64, nFreq int) float64 {
 		a.AttenDB[tap] = a.quantizeGain(tap, gains[tap])
 		free[tap] = false
 	}
-	a.refine(si, bw, nFreq)
-	a.pairRefine(si, bw, nFreq)
+	a.LastTune.RefineIterations += a.refine(si, bw, nFreq)
+	a.LastTune.RefineIterations += a.pairRefine(si, bw, nFreq)
 	// Basin hopping: the quantized landscape has local optima; perturb and
 	// re-descend, keeping the best setting found. This is the software
 	// analogue of the hardware tuner's repeated measurement-driven sweeps.
@@ -275,26 +302,71 @@ func (a *AnalogCanceller) Tune(si *SIChannel, bw float64, nFreq int) float64 {
 			}
 			a.AttenDB[i] = v
 		}
-		a.refine(si, bw, nFreq)
-		a.pairRefine(si, bw, nFreq)
+		a.LastTune.RefineIterations += a.refine(si, bw, nFreq)
+		a.LastTune.RefineIterations += a.pairRefine(si, bw, nFreq)
 		if got := a.CancellationDB(si, bw, nFreq); got > best {
 			best = got
 			copy(bestAtt, a.AttenDB)
 		}
 	}
 	copy(a.AttenDB, bestAtt)
+	a.LastTune.QuantizedDB = best
 	return best
+}
+
+// UnquantizedFitDB solves the continuous non-negative least-squares fit
+// with every tap free and no attenuator quantization, and returns the
+// cancellation it would achieve — the upper bound the quantized tuner
+// works toward. The canceller's attenuator settings are not modified.
+func (a *AnalogCanceller) UnquantizedFitDB(si *SIChannel, bw float64, nFreq int) float64 {
+	if nFreq < 2 {
+		nFreq = 2
+	}
+	freqs := make([]float64, nFreq)
+	target := make([]complex128, nFreq)
+	for i := range freqs {
+		freqs[i] = -bw/2 + bw*float64(i)/float64(nFreq-1)
+		target[i] = si.FreqResponse(freqs[i])
+	}
+	free := make([]bool, len(a.TapDelaysS))
+	for i := range free {
+		free[i] = true
+	}
+	gains, ok := a.nnls(target, freqs, free, 1e-6)
+	if !ok {
+		return 0
+	}
+	var raw, res float64
+	for fi, f := range freqs {
+		var fit complex128
+		for k, tau := range a.TapDelaysS {
+			fit += complex(gains[k], 0) * cmplx.Exp(complex(0, -2*math.Pi*(CarrierHz+f)*tau))
+		}
+		r := target[fi] - fit
+		raw += real(target[fi])*real(target[fi]) + imag(target[fi])*imag(target[fi])
+		res += real(r)*real(r) + imag(r)*imag(r)
+	}
+	if res <= 0 {
+		return MaxCancellationDB
+	}
+	c := 10 * math.Log10(raw/res)
+	if c > MaxCancellationDB {
+		c = MaxCancellationDB
+	}
+	return c
 }
 
 // pairRefine extends the coordinate descent with coordinated two-tap moves:
 // nudge tap i by a few attenuator steps, then exhaustively re-optimize tap
 // j. Single-tap moves stall once every tap is pinned by the bulk fit; pair
 // moves let one tap migrate to a deep-attenuation trim role while another
-// absorbs the bulk shift.
-func (a *AnalogCanceller) pairRefine(si *SIChannel, bw float64, nFreq int) {
+// absorbs the bulk shift. Returns the number of sweeps performed.
+func (a *AnalogCanceller) pairRefine(si *SIChannel, bw float64, nFreq int) int {
 	best := a.CancellationDB(si, bw, nFreq)
 	nLevels := int(AttenMaxDB/AttenStepDB) + 1
+	iters := 0
 	for iter := 0; iter < 2; iter++ {
+		iters++
 		improved := false
 		for i := range a.AttenDB {
 			for j := range a.AttenDB {
@@ -343,6 +415,7 @@ func (a *AnalogCanceller) pairRefine(si *SIChannel, bw float64, nFreq int) {
 			break
 		}
 	}
+	return iters
 }
 
 // nnls solves min ||target(f) - Σ_free g_k φ_k(f)||² over g_k ≥ 0 by
@@ -409,11 +482,14 @@ func (a *AnalogCanceller) quantizeGain(i int, g float64) float64 {
 // independent rounding of each tap limits cancellation to ~40 dB, but taps
 // with different phases form a fine joint lattice, so stepping attenuators
 // against the measured residual — exactly what the hardware's baseband
-// tuning loop does (Sec 4.3) — recovers the deep null.
-func (a *AnalogCanceller) refine(si *SIChannel, bw float64, nFreq int) {
+// tuning loop does (Sec 4.3) — recovers the deep null. Returns the number
+// of sweeps performed.
+func (a *AnalogCanceller) refine(si *SIChannel, bw float64, nFreq int) int {
 	best := a.CancellationDB(si, bw, nFreq)
 	nLevels := int(AttenMaxDB/AttenStepDB) + 1
+	iters := 0
 	for iter := 0; iter < 200; iter++ {
+		iters++
 		improved := false
 		for i := range a.AttenDB {
 			orig := a.AttenDB[i]
@@ -439,6 +515,7 @@ func (a *AnalogCanceller) refine(si *SIChannel, bw float64, nFreq int) {
 			break
 		}
 	}
+	return iters
 }
 
 // CancellationDB measures the in-band power ratio between the raw SI and

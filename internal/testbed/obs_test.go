@@ -1,0 +1,44 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+
+	"fastforward/internal/floorplan"
+	"fastforward/internal/obs"
+)
+
+// TestManifestMetricsWorkerIndependent is the manifest half of the sweep
+// determinism guarantee: the metrics a run records (the manifest's
+// "metrics" section) must be bit-identical between the serial reference
+// path and a parallel pool, not just the returned evaluations.
+func TestManifestMetricsWorkerIndependent(t *testing.T) {
+	run := func(workers int) map[string]obs.MetricSnapshot {
+		reg := obs.New()
+		cfg := DefaultConfig(7)
+		cfg.GridSpacingM = 3.0
+		cfg.CarrierStride = 13
+		cfg.Workers = workers
+		cfg.Obs = reg
+		New(floorplan.Scenarios()[0], cfg).RunAll()
+		return reg.Snapshot().Metrics
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) == 0 {
+		t.Fatal("instrumented sweep recorded no metrics")
+	}
+	for _, key := range []string{"testbed.cells", "relay.amp_db", "cnf.coherence_gain_db"} {
+		if _, ok := serial[key]; !ok {
+			t.Errorf("expected metric %s missing from sweep snapshot", key)
+		}
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		for k, sv := range serial {
+			if pv, ok := parallel[k]; !ok || !reflect.DeepEqual(sv, pv) {
+				t.Errorf("metric %s differs between workers=1 and workers=4", k)
+			}
+		}
+		t.Fatal("manifest metrics are not bit-identical across worker counts")
+	}
+}

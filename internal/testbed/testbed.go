@@ -7,6 +7,12 @@
 // amplification, CNF filtering (ideal or synthesized), and an explicit
 // inter-symbol-interference penalty when the relayed path exceeds the
 // OFDM cyclic prefix.
+//
+// Sweeps run on the parallel engine (internal/par) and are bit-identical
+// for any worker count. With Config.Obs set, every evaluation also
+// records the testbed.*, relay.* and cnf.* run metrics of
+// OBSERVABILITY.md through order-independent shards, so the recorded
+// metrics inherit the same determinism guarantee.
 package testbed
 
 import (
@@ -17,9 +23,11 @@ import (
 	"fastforward/internal/dsp"
 	"fastforward/internal/floorplan"
 	"fastforward/internal/linalg"
+	"fastforward/internal/obs"
 	"fastforward/internal/ofdm"
 	"fastforward/internal/par"
 	"fastforward/internal/phyrate"
+	"fastforward/internal/relay"
 	"fastforward/internal/rng"
 	"fastforward/internal/wifi"
 )
@@ -66,6 +74,11 @@ type Config struct {
 	// means one worker per CPU. Results are bit-identical for every value
 	// because each client location derives its own rng stream from Seed.
 	Workers int
+	// Obs, when non-nil, receives the testbed.*, relay.* and cnf.* run
+	// metrics (see OBSERVABILITY.md). Recording is sharded and
+	// order-independent, so metric values stay bit-identical for any
+	// Workers count. Nil disables instrumentation at near-zero cost.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's operating point: 2×2 MIMO, 110 dB
@@ -117,6 +130,7 @@ type Testbed struct {
 	scenario floorplan.Scenario
 	params   *ofdm.Params
 	carriers []int
+	ins      instruments
 
 	// Cached relay-side state (independent of client position).
 	apRelayPaths []floorplan.Path
@@ -139,6 +153,7 @@ func New(sc floorplan.Scenario, cfg Config) *Testbed {
 		scenario:     sc,
 		params:       p,
 		carriers:     carriers,
+		ins:          newInstruments(cfg.Obs),
 		apRelayPaths: sc.Plan.Trace(sc.AP, sc.Relay, 2),
 	}
 }
@@ -196,7 +211,9 @@ func clientSeed(base int64, client floorplan.Point) int64 {
 // EvaluateClient computes all schemes at one client location. It is safe
 // to call concurrently: all randomness comes from a location-derived seed.
 func (tb *Testbed) EvaluateClient(client floorplan.Point) Evaluation {
-	src := rng.New(clientSeed(tb.cfg.Seed, client))
+	seed := clientSeed(tb.cfg.Seed, client)
+	shard := obs.ShardForSeed(seed)
+	src := rng.New(seed)
 	sc := tb.scenario
 	sdPaths := sc.Plan.Trace(sc.AP, client, 2)
 	rdPaths := sc.Plan.Trace(sc.Relay, client, 2)
@@ -205,22 +222,14 @@ func (tb *Testbed) EvaluateClient(client floorplan.Point) Evaluation {
 	txMW := dsp.WattsFromDBm(tb.cfg.TxPowerDBm) * 1000
 	n0 := channel.NoiseFloorMW() * dsp.Linear(tb.cfg.NoiseFigureDB)
 
-	// Relay power budget: cancellation bound, noise rule, and PA limit.
+	// Relay power budget: cancellation bound, noise rule, and PA limit
+	// (the PA cap keeps the amplified signal within the relay's max TX
+	// power).
 	rdAttenDB := -floorplan.AveragePowerGainDB(rdPaths)
-	ampDB := tb.cfg.CancellationDB - cnf.StabilityMarginDB
-	if tb.cfg.NoiseRule {
-		if nr := rdAttenDB - cnf.NoiseMarginDB; nr < ampDB {
-			ampDB = nr
-		}
-	}
-	// PA cap: the amplified signal may not exceed the relay's max TX power.
 	rxAtRelayDBm := tb.cfg.TxPowerDBm + floorplan.AveragePowerGainDB(tb.apRelayPaths)
-	if pa := tb.cfg.RelayMaxTxDBm - rxAtRelayDBm; pa < ampDB {
-		ampDB = pa
-	}
-	if ampDB < 0 {
-		ampDB = 0
-	}
+	amp := relay.ChooseAmplificationDB(tb.cfg.CancellationDB, rdAttenDB,
+		tb.cfg.RelayMaxTxDBm-rxAtRelayDBm, tb.cfg.NoiseRule)
+	ampDB := amp.AmpDB
 
 	// ISI weighting: the latest significant relayed energy (multipath tail
 	// of both hops plus processing delay) must land within the CP of the
@@ -239,11 +248,12 @@ func (tb *Testbed) EvaluateClient(client floorplan.Point) Evaluation {
 	relayNoiseMW := n0 + relayTxMW*dsp.Linear(-tb.cfg.CancellationDB)
 
 	if tb.cfg.MIMO {
-		tb.evaluateMIMO(&ev, src, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
+		tb.evaluateMIMO(&ev, src, shard, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
 	} else {
-		tb.evaluateSISO(&ev, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
+		tb.evaluateSISO(&ev, shard, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
 	}
 	ev.Class = phyrate.Classify(ev.APOnlySNRdB, ev.APOnlyRank)
+	tb.ins.recordEvaluation(shard, &ev, amp)
 	return ev
 }
 
@@ -273,7 +283,7 @@ func maxDelay(paths []floorplan.Path) float64 {
 }
 
 // evaluateSISO fills the evaluation for single-antenna devices.
-func (tb *Testbed) evaluateSISO(ev *Evaluation, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
+func (tb *Testbed) evaluateSISO(ev *Evaluation, shard int, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
 	p := tb.params
 	fs := p.SampleRate
 	hsd := floorplan.SISOChannel(sdPaths, fs, 0).ResponseVector(tb.carriers, p.NFFT)
@@ -300,6 +310,8 @@ func (tb *Testbed) evaluateSISO(ev *Evaluation, sdPaths, rdPaths []floorplan.Pat
 		if tb.cfg.SynthesizedFilter {
 			impl := cnf.Synthesize(hc, tb.carriers, p.NFFT, fs)
 			hc = impl.ApplyImplementation(tb.carriers, p.NFFT, fs)
+			tb.ins.tapEnergy.Observe(shard, dsp.DB(impl.TapEnergy()))
+			tb.ins.fitError.Observe(shard, impl.FitErrorDB)
 		}
 	} else {
 		amp := complex(dsp.AmplitudeFromDB(ampDB), 0)
@@ -311,6 +323,7 @@ func (tb *Testbed) evaluateSISO(ev *Evaluation, sdPaths, rdPaths []floorplan.Pat
 	heff := make([]complex128, len(hsd))
 	extraNoise := make([]float64, len(hsd))
 	w := complex(useful, 0)
+	var directPow, combinedPow float64
 	for i := range hsd {
 		relayed := hrd[i] * hc[i] * hsr[i]
 		heff[i] = hsd[i] + w*relayed
@@ -319,6 +332,11 @@ func (tb *Testbed) evaluateSISO(ev *Evaluation, sdPaths, rdPaths []floorplan.Pat
 		// forwarded to the destination, plus the relayed signal power that
 		// falls outside the CP as ISI.
 		extraNoise[i] = g*relayNoiseMW*useful*useful + isiFrac*(absSq(relayed)*txMW+g*relayNoiseMW)
+		directPow += absSq(hsd[i])
+		combinedPow += absSq(heff[i])
+	}
+	if directPow > 0 && combinedPow > 0 {
+		tb.ins.coherence.Observe(shard, dsp.DB(combinedPow/directPow))
 	}
 	ev.RelayMbps = phyrate.SISORateMbps(p, heff, txMW, n0, extraNoise)
 	ev.RelayStreams = 1
@@ -330,7 +348,7 @@ func (tb *Testbed) evaluateSISO(ev *Evaluation, sdPaths, rdPaths []floorplan.Pat
 }
 
 // evaluateMIMO fills the evaluation for 2×2 devices (2-antenna relay).
-func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
+func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, shard int, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
 	p := tb.params
 	fs := p.SampleRate
 	const nAnt = 2
@@ -371,6 +389,8 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, sdPaths, rdPath
 		if tb.cfg.SynthesizedFilter {
 			impl := cnf.SynthesizeMIMO(FA, tb.carriers, p.NFFT, fs)
 			FA = impl.ApplyImplementation(tb.carriers, p.NFFT, fs)
+			tb.ins.tapEnergy.Observe(shard, dsp.DB(impl.TapEnergy()))
+			tb.ins.fitError.Observe(shard, impl.WorstFitErrorDB())
 		}
 	} else {
 		// Blind amplify-and-forward (Sec 5.5): without channel knowledge
@@ -386,9 +406,14 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, sdPaths, rdPath
 	}
 	Heff := make([]*linalg.Matrix, len(Hsd))
 	cov := make([]*linalg.Matrix, len(Hsd))
+	var directPow, combinedPow float64
 	for i := range Hsd {
 		HrdFA := Hrd[i].Mul(FA[i])
 		Heff[i] = Hsd[i].Add(HrdFA.Mul(Hsr[i]).Scale(useful))
+		fd := Hsd[i].FrobeniusNorm()
+		fc := Heff[i].FrobeniusNorm()
+		directPow += fd * fd
+		combinedPow += fc * fc
 		cov[i] = phyrate.NoiseCovariance(HrdFA.Scale(useful), n0, relayNoiseMW)
 		if isiFrac > 0 {
 			// Relayed power that falls outside the CP becomes white-ish
@@ -401,6 +426,9 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, sdPaths, rdPath
 			}
 		}
 	}
+	if directPow > 0 && combinedPow > 0 {
+		tb.ins.coherence.Observe(shard, dsp.DB(combinedPow/directPow))
+	}
 	res := phyrate.MIMORateMbps(p, Heff, cov, txMW, n0)
 	ev.RelayMbps = res.RateMbps
 	ev.RelayStreams = res.Streams
@@ -412,6 +440,7 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, sdPaths, rdPath
 // (Config.Workers bounds the pool; results are bit-identical for any
 // worker count).
 func (tb *Testbed) RunAll() []Evaluation {
+	defer tb.cfg.Obs.Stage("testbed.run_all")()
 	grid := tb.ClientGrid()
 	return par.Map(len(grid), tb.cfg.Workers, func(i int) Evaluation {
 		return tb.EvaluateClient(grid[i])
