@@ -9,7 +9,7 @@
 GO ?= go
 SMOKE := .smoke
 
-.PHONY: all build test vet race check bench manifest-smoke
+.PHONY: all build test vet race check bench manifest-smoke fuzz-smoke
 
 all: check
 
@@ -25,9 +25,13 @@ vet:
 # The race pass runs the concurrent packages in full, plus the testbed's
 # parallel-vs-serial determinism tests (the full testbed suite under the
 # race detector takes tens of minutes; the determinism tests exercise every
-# concurrent code path).
+# concurrent code path). internal/obs is written to from every worker and
+# internal/sic publishes through shared registries, so both run here too
+# (sic in -short mode: the long characterization sweeps are Short-gated,
+# the concurrent-registry tests are not).
 race:
-	$(GO) test -race ./internal/par ./internal/fft ./internal/ident
+	$(GO) test -race ./internal/par ./internal/fft ./internal/ident ./internal/obs
+	$(GO) test -race -short ./internal/sic
 	$(GO) test -race -run 'Parallel|Slot|Determinism' ./internal/testbed
 
 check: test vet race manifest-smoke
@@ -50,6 +54,17 @@ manifest-smoke: build
 	$(GO) run ./cmd/fingerprint -locations 4 -packets 50 -manifest $(SMOKE)/fingerprint.json > /dev/null
 	$(GO) run ./cmd/manifestcheck -require ident.locations,ident.packets $(SMOKE)/fingerprint.json
 	rm -rf $(SMOKE)
+
+# Short fuzz runs over every fuzz target (go accepts one -fuzz target per
+# invocation). Seed corpora make even short runs meaningful; CI runs this
+# with the default budget. Override with e.g. FUZZTIME=2m.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDetectPacket$$' -fuzztime $(FUZZTIME) ./internal/ofdm
+	$(GO) test -run '^$$' -fuzz '^FuzzEstimateCFO$$' -fuzztime $(FUZZTIME) ./internal/ofdm
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/wifi
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFeedback$$' -fuzztime $(FUZZTIME) ./internal/protocol
+	$(GO) test -run '^$$' -fuzz '^FuzzDetect$$' -fuzztime $(FUZZTIME) ./internal/ident
 
 # Record the perf baseline (see EXPERIMENTS.md "Performance baseline").
 bench:

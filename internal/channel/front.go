@@ -1,0 +1,49 @@
+package channel
+
+import (
+	"fastforward/internal/impair"
+	"fastforward/internal/rng"
+)
+
+// Front is a receive chain: propagation through a SISO channel, additive
+// noise at the configured floor, then the hardware front-end impairments
+// of a Profile (CFO, phase noise, IQ imbalance, ADC quantization). It is
+// the composition every over-the-air hop in the simulator performs, made
+// explicit so impairment injection threads through one place.
+//
+// A nil Profile (or the zero profile) reduces Front to Apply+AWGN exactly:
+// the impairment stage is the identity and consumes no randomness from
+// Src beyond the noise draw, so enabling impairments never shifts the
+// noise stream.
+type Front struct {
+	// Channel is the propagation path. Nil means an identity channel.
+	Channel *SISO
+	// Profile is the receive front-end's impairment profile; nil = ideal.
+	Profile *impair.Profile
+	// SampleRate is the ADC rate, needed to realize CFO rotation.
+	SampleRate float64
+	// NoiseMW is the additive noise power; 0 adds no noise (useful in
+	// tests that want impairments in isolation).
+	NoiseMW float64
+	// NoiseSrc draws the thermal noise.
+	NoiseSrc *rng.Source
+	// ImpairSrc draws the impairment randomness (phase-noise walk). Kept
+	// separate from NoiseSrc so toggling impairments is stream-stable.
+	ImpairSrc *rng.Source
+}
+
+// Receive passes x through the chain and returns the impaired baseband
+// stream as a new slice (x is untouched).
+func (f *Front) Receive(x []complex128) []complex128 {
+	y := x
+	if f.Channel != nil {
+		y = f.Channel.Apply(y)
+	}
+	if f.NoiseMW > 0 && f.NoiseSrc != nil {
+		y = AWGN(f.NoiseSrc, y, f.NoiseMW)
+	}
+	if f.Profile != nil && !f.Profile.IsZero() {
+		y = f.Profile.ApplyWaveform(f.ImpairSrc, y, f.SampleRate)
+	}
+	return y
+}

@@ -1,0 +1,117 @@
+package cnf
+
+import (
+	"fastforward/internal/impair"
+)
+
+// FilterTracker implements the relay's graceful-degradation policy for the
+// CNF filter when sounding rounds are lost or corrupted (Sec 4.2 learns
+// the source→destination channel only from snooped sounding feedback, so
+// a lost exchange leaves the relay blind for a full interval): hold the
+// last-known-good filter and account its growing staleness, rather than
+// forwarding with no filter or a garbage one.
+//
+// The tracker is pure bookkeeping — it does not synthesize filters — so
+// any representation works: frequency-domain taps here, FilterImpl
+// elsewhere.
+type FilterTracker struct {
+	// MaxStaleIntervals is how many consecutive missed refreshes the relay
+	// tolerates before declaring the filter unusable (Invalidate); <= 0
+	// means never give up.
+	MaxStaleIntervals int
+
+	// Misses counts refreshes that were lost or corrupted.
+	Misses int
+	// Updates counts successful refreshes.
+	Updates int
+	// Invalidations counts times staleness exceeded MaxStaleIntervals and
+	// the filter was dropped entirely.
+	Invalidations int
+	// WorstStaleIntervals is the deepest staleness reached.
+	WorstStaleIntervals int
+
+	filter []complex128
+	stale  int
+	valid  bool
+}
+
+// Update installs a freshly computed filter (a successful sounding round):
+// staleness resets to zero.
+func (t *FilterTracker) Update(filter []complex128) {
+	t.filter = filter
+	t.stale = 0
+	t.valid = true
+	t.Updates++
+}
+
+// Miss records a lost or corrupted sounding round: the last-known-good
+// filter is held one interval longer. When staleness passes
+// MaxStaleIntervals the filter is invalidated — the relay falls back to
+// plain amplify-and-forward (a nil filter) rather than constructing with
+// fiction.
+func (t *FilterTracker) Miss() {
+	t.Misses++
+	if !t.valid {
+		return
+	}
+	t.stale++
+	if t.stale > t.WorstStaleIntervals {
+		t.WorstStaleIntervals = t.stale
+	}
+	if t.MaxStaleIntervals > 0 && t.stale > t.MaxStaleIntervals {
+		t.Invalidate()
+	}
+}
+
+// Invalidate drops the held filter entirely.
+func (t *FilterTracker) Invalidate() {
+	t.filter = nil
+	t.valid = false
+	t.stale = 0
+	t.Invalidations++
+}
+
+// Current returns the filter the relay should apply right now and whether
+// one is available at all. A false return means amplify-and-forward only.
+func (t *FilterTracker) Current() ([]complex128, bool) {
+	return t.filter, t.valid
+}
+
+// StaleIntervals reports how many refresh intervals the current filter has
+// been held past its computation (0 = fresh).
+func (t *FilterTracker) StaleIntervals() int {
+	if !t.valid {
+		return 0
+	}
+	return t.stale
+}
+
+// StalenessRho returns the Gauss-Markov correlation between the held
+// filter's CSI and the true channel, given the per-interval correlation
+// rhoPerInterval: rho^stale, 1 when fresh or invalid.
+func (t *FilterTracker) StalenessRho(rhoPerInterval float64) float64 {
+	if !t.valid || t.stale == 0 || rhoPerInterval >= 1 {
+		return 1
+	}
+	rho := 1.0
+	for i := 0; i < t.stale; i++ {
+		rho *= rhoPerInterval
+	}
+	return rho
+}
+
+// Advance plays one sounding round drawn from the impairment profile
+// through the tracker: on SoundingOK the provided compute callback is
+// invoked to synthesize a fresh filter, otherwise the round is a Miss.
+// It returns the outcome so callers can record per-outcome metrics. The
+// compute callback runs only on OK rounds, preserving rng stream
+// stability for the fault draws themselves (one variate per round, see
+// impair.DrawSounding).
+func (t *FilterTracker) Advance(outcome impair.SoundingOutcome, compute func() []complex128) impair.SoundingOutcome {
+	if outcome == impair.SoundingOK {
+		t.Update(compute())
+	} else {
+		t.Miss()
+	}
+	return outcome
+}

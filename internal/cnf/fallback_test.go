@@ -1,0 +1,101 @@
+package cnf
+
+import (
+	"math"
+	"testing"
+
+	"fastforward/internal/impair"
+	"fastforward/internal/rng"
+)
+
+func TestFilterTrackerHoldsLastKnownGood(t *testing.T) {
+	tr := &FilterTracker{MaxStaleIntervals: 3}
+	if _, ok := tr.Current(); ok {
+		t.Fatal("fresh tracker should have no filter")
+	}
+	f1 := []complex128{1, 2}
+	tr.Update(f1)
+	if got, ok := tr.Current(); !ok || &got[0] != &f1[0] {
+		t.Fatal("Update did not install the filter")
+	}
+	if tr.StaleIntervals() != 0 {
+		t.Error("fresh filter reports staleness")
+	}
+	tr.Miss()
+	tr.Miss()
+	if got, ok := tr.Current(); !ok || &got[0] != &f1[0] {
+		t.Fatal("tracker dropped last-known-good on tolerable misses")
+	}
+	if tr.StaleIntervals() != 2 {
+		t.Errorf("staleness %d, want 2", tr.StaleIntervals())
+	}
+	// rho^stale
+	if got := tr.StalenessRho(0.9); math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("StalenessRho = %v, want 0.81", got)
+	}
+	tr.Miss() // stale = 3, still within MaxStaleIntervals
+	if _, ok := tr.Current(); !ok {
+		t.Fatal("filter dropped at staleness == MaxStaleIntervals")
+	}
+	tr.Miss() // stale = 4 > 3: invalidate
+	if _, ok := tr.Current(); ok {
+		t.Fatal("filter survived past MaxStaleIntervals")
+	}
+	if tr.Invalidations != 1 || tr.Misses != 4 || tr.Updates != 1 {
+		t.Errorf("counters = %+v", *tr)
+	}
+	// The 4th miss reaches staleness 4 and that is what triggers the
+	// invalidation, so the deepest staleness recorded is 4.
+	if tr.WorstStaleIntervals != 4 {
+		t.Errorf("WorstStaleIntervals = %d, want 4", tr.WorstStaleIntervals)
+	}
+	// Recovery: a successful round restores service.
+	tr.Update([]complex128{3})
+	if _, ok := tr.Current(); !ok || tr.StaleIntervals() != 0 {
+		t.Fatal("tracker did not recover on Update")
+	}
+}
+
+func TestFilterTrackerAdvance(t *testing.T) {
+	lossy, _ := impair.ByName("lost-sounding")
+	src := rng.New(21)
+	tr := &FilterTracker{MaxStaleIntervals: 5}
+	computes := 0
+	rounds := 200
+	for i := 0; i < rounds; i++ {
+		tr.Advance(lossy.DrawSounding(src), func() []complex128 {
+			computes++
+			return []complex128{complex(float64(i), 0)}
+		})
+	}
+	if computes != tr.Updates {
+		t.Errorf("compute callback ran %d times, Updates = %d", computes, tr.Updates)
+	}
+	if tr.Updates+tr.Misses != rounds {
+		t.Errorf("updates %d + misses %d != %d rounds", tr.Updates, tr.Misses, rounds)
+	}
+	// lost-sounding has 25% total fault probability: both outcomes occur.
+	if tr.Misses == 0 || tr.Updates == 0 {
+		t.Errorf("degenerate outcome mix: %+v", *tr)
+	}
+	// With MaxStaleIntervals 5 and p(fault) = 0.25, invalidation is a
+	// ~1e-4/round event; 200 rounds should essentially never invalidate,
+	// i.e. graceful degradation holds the filter through burst losses.
+	if tr.Invalidations > 1 {
+		t.Errorf("too many invalidations: %d", tr.Invalidations)
+	}
+}
+
+func TestFilterTrackerNeverGiveUp(t *testing.T) {
+	tr := &FilterTracker{} // MaxStaleIntervals <= 0: hold forever
+	tr.Update([]complex128{1})
+	for i := 0; i < 100; i++ {
+		tr.Miss()
+	}
+	if _, ok := tr.Current(); !ok {
+		t.Fatal("unbounded tracker dropped its filter")
+	}
+	if tr.StaleIntervals() != 100 {
+		t.Errorf("staleness %d, want 100", tr.StaleIntervals())
+	}
+}

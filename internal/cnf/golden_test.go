@@ -1,0 +1,39 @@
+package cnf
+
+import (
+	"testing"
+
+	"fastforward/internal/channel"
+	"fastforward/internal/golden"
+	"fastforward/internal/ofdm"
+	"fastforward/internal/rng"
+)
+
+// TestSynthesisGolden pins the CNF pipeline on a seed-fixed three-channel
+// draw: the desired per-subcarrier filter, its synthesized implementation's
+// tap energy and fit error, and a sample of the realized response. Filter
+// or synthesis changes re-baseline with -update; anything else is a
+// regression at 1e-9.
+func TestSynthesisGolden(t *testing.T) {
+	p := ofdm.Default20MHz()
+	carriers := p.DataCarriers
+	hsd := channel.NewRayleigh(rng.New(101), 6, 0.4, 1.0).ResponseVector(carriers, p.NFFT)
+	hsr := channel.NewRayleigh(rng.New(102), 4, 0.3, 2.0).ResponseVector(carriers, p.NFFT)
+	hrd := channel.NewRayleigh(rng.New(103), 5, 0.5, 1.5).ResponseVector(carriers, p.NFFT)
+
+	got := map[string]float64{}
+	for _, ampDB := range []float64{20, 40} {
+		desired := DesiredSISO(hsd, hsr, hrd, ampDB)
+		impl := Synthesize(desired, carriers, p.NFFT, p.SampleRate)
+		realized := impl.ApplyImplementation(carriers, p.NFFT, p.SampleRate)
+		got[golden.Key("cnf", ampDB, "tap_energy")] = impl.TapEnergy()
+		got[golden.Key("cnf", ampDB, "fit_error_db")] = impl.FitErrorDB
+		// Spot-check the realized response at a few carriers: fit metrics
+		// alone can stay flat while the response rotates.
+		for _, i := range []int{0, len(carriers) / 2, len(carriers) - 1} {
+			got[golden.Key("cnf", ampDB, "re", i)] = real(realized[i])
+			got[golden.Key("cnf", ampDB, "im", i)] = imag(realized[i])
+		}
+	}
+	golden.Check(t, "testdata/synthesis_golden.json", got)
+}

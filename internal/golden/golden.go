@@ -1,0 +1,99 @@
+// Package golden is the regression harness for seed-fixed scalar outputs:
+// a test computes a flat map of named float64 results, and Check diffs it
+// against a committed testdata vector at 1e-9 absolute tolerance. Any
+// intentional behavior change is re-baselined with
+//
+//	go test ./<pkg>/ -run <Test> -update
+//
+// which rewrites the golden file from the current values. JSON storage
+// uses Go's shortest round-trip float encoding, so baselines are exact and
+// diffs in review show the full drift.
+package golden
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current values")
+
+// Tolerance is the absolute diff beyond which a value is a regression.
+const Tolerance = 1e-9
+
+// Check compares got against the golden file at path (conventionally
+// testdata/<name>.json relative to the calling package). With -update it
+// rewrites the file instead and passes.
+func Check(t *testing.T, path string, got map[string]float64) {
+	t.Helper()
+	for k, v := range got {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("golden value %q = %v: only finite values can be baselined", k, v)
+		}
+	}
+	if *update {
+		if err := write(path, got); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden: rewrote %s with %d values", path, len(got))
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file %s unreadable (baseline with -update): %v", path, err)
+	}
+	var want map[string]float64
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("golden file %s corrupt: %v", path, err)
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("golden key %q no longer produced", k)
+			continue
+		}
+		if d := math.Abs(g - want[k]); d > Tolerance {
+			t.Errorf("golden %q: got %.17g, want %.17g (|diff| %.3g > %g)",
+				k, g, want[k], d, Tolerance)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("new value %q not in golden file (re-baseline with -update)", k)
+		}
+	}
+}
+
+func write(path string, vals map[string]float64) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(vals, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Key builds a dotted metric-style key from parts, the naming convention
+// golden vectors share with the run manifest.
+func Key(parts ...interface{}) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += "."
+		}
+		s += fmt.Sprint(p)
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+package ident
+
+import (
+	"testing"
+)
+
+func fuzzSamples(data []byte) []complex128 {
+	n := len(data) / 4
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		re := int16(uint16(data[4*i]) | uint16(data[4*i+1])<<8)
+		im := int16(uint16(data[4*i+2]) | uint16(data[4*i+3])<<8)
+		out[i] = complex(float64(re)/8192, float64(im)/8192)
+	}
+	return out
+}
+
+func fuzzBytes(x []complex128) []byte {
+	out := make([]byte, 4*len(x))
+	for i, v := range x {
+		re := int16(real(v) * 8192)
+		im := int16(imag(v) * 8192)
+		out[4*i] = byte(uint16(re))
+		out[4*i+1] = byte(uint16(re) >> 8)
+		out[4*i+2] = byte(uint16(im))
+		out[4*i+3] = byte(uint16(im) >> 8)
+	}
+	return out
+}
+
+// FuzzDetect drives the PN-signature correlator with arbitrary waveforms:
+// no panic, and any claimed detection must name a registered client at an
+// in-range offset — the contract the relay's client-identification path
+// assumes when impaired receivers hand it distorted captures.
+func FuzzDetect(f *testing.F) {
+	const sigLen = 127
+	ids := []int{1, 2, 7}
+	d := NewDetector(ids, sigLen, 0.5)
+	// Seeds: a genuine signature (offset and clean), a foreign client's
+	// signature, and silence.
+	f.Add(fuzzBytes(append(make([]complex128, 33), SignatureWaveform(1, sigLen, 1.0)...)))
+	f.Add(fuzzBytes(SignatureWaveform(5, sigLen, 1.0)))
+	f.Add(make([]byte, 4*2*sigLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<15 {
+			data = data[:1<<15]
+		}
+		rx := fuzzSamples(data)
+		id, off, ok := d.Detect(rx)
+		if !ok {
+			return
+		}
+		if off < 0 || off >= len(rx) {
+			t.Fatalf("detection offset %d outside [0,%d)", off, len(rx))
+		}
+		found := false
+		for _, want := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("detected unregistered client %d", id)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package impair
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fastforward/internal/dsp"
+	"fastforward/internal/rng"
+)
+
+// The severity ladder's cancellation floors must be strictly ordered —
+// this is what makes the testbed's degradation sweeps monotone by
+// construction, which the acceptance test in internal/testbed pins.
+func TestSeverityLadderFloorsMonotone(t *testing.T) {
+	ladder := SeverityLadder()
+	prev := math.Inf(1)
+	for _, p := range ladder {
+		floor := p.CancellationFloorDB()
+		if p.Name == "ideal" {
+			if !math.IsInf(floor, 1) {
+				t.Fatalf("ideal profile has finite floor %v", floor)
+			}
+			continue
+		}
+		if !(floor < prev) {
+			t.Errorf("floor not strictly decreasing at %q: %.2f !< %.2f", p.Name, floor, prev)
+		}
+		if floor < 15 || floor > 100 {
+			t.Errorf("%q floor %.2f dB outside plausible range", p.Name, floor)
+		}
+		prev = floor
+	}
+	// Aging must tighten (rho decrease) down the ladder too.
+	prevRho := 1.0
+	for _, p := range ladder[1:] {
+		if rho := p.AgingRho(); rho >= prevRho {
+			t.Errorf("aging rho not decreasing at %q: %v >= %v", p.Name, rho, prevRho)
+		} else {
+			prevRho = rho
+		}
+	}
+}
+
+func TestEffectiveCancellationCaps(t *testing.T) {
+	p, _ := ByName("severe")
+	floor := p.CancellationFloorDB()
+	if got := p.EffectiveCancellationDB(110); got != floor {
+		t.Errorf("110 dB budget should cap at floor %.2f, got %.2f", floor, got)
+	}
+	if got := p.EffectiveCancellationDB(floor - 10); got != floor-10 {
+		t.Errorf("budget below floor must pass through: got %.2f", got)
+	}
+	var ideal Profile
+	if got := ideal.EffectiveCancellationDB(110); got != 110 {
+		t.Errorf("ideal profile must not cap: got %.2f", got)
+	}
+}
+
+// Waveform impairments must be deterministic given the ItemSeed-derived
+// source — the property that keeps impaired sweeps bit-identical across
+// worker counts.
+func TestWaveformDeterminism(t *testing.T) {
+	p, _ := ByName("severe")
+	x := rng.New(42).NoiseVector(512, 1)
+	a := p.ApplyWaveform(Source(7, 3), x, 20e6)
+	b := p.ApplyWaveform(Source(7, 3), x, 20e6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs between identically-seeded runs", i)
+		}
+	}
+	c := p.ApplyWaveform(Source(7, 4), x, 20e6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different item seeds produced identical impairments")
+	}
+}
+
+func TestApplyCFORotates(t *testing.T) {
+	const fs = 20e6
+	const cfo = 1000.0
+	n := 2000
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	y := ApplyCFO(x, cfo, fs)
+	// Phase advance per sample must be 2π·cfo/fs.
+	want := 2 * math.Pi * cfo / fs
+	got := cmplx.Phase(y[1] * cmplx.Conj(y[0]))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("per-sample phase %v, want %v", got, want)
+	}
+}
+
+func TestIQImbalanceImagePower(t *testing.T) {
+	// For a pure tone, the image-to-signal ratio must match the standard
+	// |beta/alpha|² model.
+	const gainDB, phaseDeg = 0.6, 3.0
+	g := math.Pow(10, gainDB/20)
+	phi := phaseDeg * math.Pi / 180
+	alpha := complex((1+g*math.Cos(phi))/2, g*math.Sin(phi)/2)
+	beta := complex((1-g*math.Cos(phi))/2, g*math.Sin(phi)/2)
+	wantIRR := dsp.DB(absSq(beta) / absSq(alpha))
+
+	n := 4096
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * 5 * float64(i) / float64(n)
+		x[i] = cmplx.Exp(complex(0, ph))
+	}
+	y := ApplyIQImbalance(x, gainDB, phaseDeg)
+	// Correlate against the tone and its image.
+	var sig, img complex128
+	for i := range y {
+		ph := 2 * math.Pi * 5 * float64(i) / float64(n)
+		sig += y[i] * cmplx.Exp(complex(0, -ph))
+		img += y[i] * cmplx.Exp(complex(0, ph))
+	}
+	gotIRR := dsp.DB(absSq(img) / absSq(sig))
+	if math.Abs(gotIRR-wantIRR) > 0.1 {
+		t.Errorf("image rejection %.2f dB, want %.2f dB", gotIRR, wantIRR)
+	}
+}
+
+func TestQuantizeADCSQNR(t *testing.T) {
+	src := rng.New(1)
+	x := src.NoiseVector(1<<14, 1)
+	// At 16 dB back-off the Gaussian clip tail is negligible, so the SQNR
+	// must match the loaded-quantizer formula 6.02·bits + 4.77 − backoff.
+	for _, bits := range []int{6, 8, 10, 12} {
+		y := QuantizeADC(x, bits, 16)
+		nse := dsp.Power(dsp.Sub(y, x))
+		snr := dsp.DB(dsp.Power(x) / nse)
+		want := 6.02*float64(bits) + 4.77 - 16
+		if math.Abs(snr-want) > 2 {
+			t.Errorf("%d bits: SQNR %.1f dB, want ≈%.1f", bits, snr, want)
+		}
+	}
+	// More bits must always quantize less noisily.
+	prev := -math.Inf(1)
+	for _, bits := range []int{4, 6, 8, 10} {
+		y := QuantizeADC(x, bits, 16)
+		snr := dsp.DB(dsp.Power(x) / dsp.Power(dsp.Sub(y, x)))
+		if snr <= prev {
+			t.Errorf("SQNR not increasing with bits at %d: %.1f <= %.1f", bits, snr, prev)
+		}
+		prev = snr
+	}
+	// At aggressive loading the clip tail dominates and the budget model's
+	// quant+clip closed form must track the waveform within 3 dB.
+	p := Profile{ADCBits: 8, ADCClipBackoffDB: 8}
+	y := QuantizeADC(x, 8, 8)
+	meas := dsp.DB(dsp.Power(x) / dsp.Power(dsp.Sub(y, x)))
+	if model := p.CancellationFloorDB(); math.Abs(meas-model) > 3 {
+		t.Errorf("clip-dominated floor: measured %.1f dB, model %.1f dB", meas, model)
+	}
+}
+
+func TestApplyPACompressesPeaks(t *testing.T) {
+	src := rng.New(2)
+	x := src.NoiseVector(4096, 1)
+	y := ApplyPA(x, 3, 2)
+	if dsp.MaxAbs(y) >= dsp.MaxAbs(x) {
+		t.Error("PA did not compress the peak")
+	}
+	// Small signals pass almost linearly.
+	for i, v := range x {
+		if cmplx.Abs(v) < 0.1 {
+			if r := cmplx.Abs(y[i]) / cmplx.Abs(v); r < 0.98 || r > 1.0+1e-12 {
+				t.Fatalf("small-signal gain %v out of range", r)
+			}
+			break
+		}
+	}
+	// Deep back-off must be transparent to 1e-3.
+	lin := ApplyPA(x, 40, 2)
+	if evm := dsp.Power(dsp.Sub(lin, x)) / dsp.Power(x); evm > 1e-3 {
+		t.Errorf("40 dB back-off EVM² %v too high", evm)
+	}
+}
+
+func TestAgeCSICorrelation(t *testing.T) {
+	src := rng.New(3)
+	n := 20000
+	h := src.NoiseVector(n, 1)
+	const rho = 0.8
+	aged := AgeCSI(src, h, rho)
+	var dot complex128
+	var pw float64
+	for i := range h {
+		dot += aged[i] * cmplx.Conj(h[i])
+		pw += absSq(h[i])
+	}
+	got := real(dot) / pw
+	if math.Abs(got-rho) > 0.02 {
+		t.Errorf("measured correlation %.3f, want %.3f", got, rho)
+	}
+	// Power must be preserved in expectation.
+	var agedPw float64
+	for _, v := range aged {
+		agedPw += absSq(v)
+	}
+	if r := agedPw / pw; r < 0.9 || r > 1.1 {
+		t.Errorf("aged power ratio %.3f, want ≈1", r)
+	}
+	// rho >= 1 is the identity.
+	if same := AgeCSI(src, h, 1); &same[0] != &h[0] {
+		t.Error("rho=1 should return h unchanged")
+	}
+}
+
+// DrawSounding must consume exactly one variate whatever the outcome, so
+// toggling fault injection cannot shift any other draw in the stream.
+func TestDrawSoundingStreamStability(t *testing.T) {
+	lossy, _ := ByName("lost-sounding")
+	var ideal Profile
+	a := rng.New(9)
+	b := rng.New(9)
+	for i := 0; i < 100; i++ {
+		lossy.DrawSounding(a)
+		ideal.DrawSounding(b)
+	}
+	if a.Float64() != b.Float64() {
+		t.Error("profiles consumed different variate counts")
+	}
+	// Outcomes are deterministic per seed.
+	c, d := rng.New(11), rng.New(11)
+	for i := 0; i < 200; i++ {
+		if lossy.DrawSounding(c) != lossy.DrawSounding(d) {
+			t.Fatal("outcome not deterministic")
+		}
+	}
+	// With the configured probabilities all three outcomes occur.
+	seen := map[SoundingOutcome]int{}
+	e := rng.New(13)
+	for i := 0; i < 500; i++ {
+		seen[lossy.DrawSounding(e)]++
+	}
+	for _, o := range []SoundingOutcome{SoundingOK, SoundingLost, SoundingCorrupt} {
+		if seen[o] == 0 {
+			t.Errorf("outcome %s never drawn", o)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("moderate")
+	if err != nil || p.Name != "moderate" || p.CFOHz != 8 {
+		t.Fatalf("Parse(moderate) = %+v, %v", p, err)
+	}
+	p, err = Parse("severe,cfo_hz=500,csi_age_ms=80")
+	if err != nil || p.CFOHz != 500 || p.CSIAgeMs != 80 || p.ADCBits != 8 {
+		t.Fatalf("overlay parse = %+v, %v", p, err)
+	}
+	if p.Name != "severe,cfo_hz=500,csi_age_ms=80" {
+		t.Errorf("custom profile name %q", p.Name)
+	}
+	if _, err := Parse("nonsense"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := Parse("mild,bogus_key=1"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	p, err = Parse("")
+	if err != nil || !p.IsZero() {
+		t.Errorf("empty parse = %+v, %v", p, err)
+	}
+	for _, n := range Names() {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("Names() lists %q but ByName misses it", n)
+		}
+	}
+}
+
+func absSq(z complex128) float64 {
+	return real(z)*real(z) + imag(z)*imag(z)
+}

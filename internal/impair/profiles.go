@@ -1,0 +1,183 @@
+package impair
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Named profiles form the severity ladder the degradation scenarios sweep.
+// Magnitudes are chosen so the cancellation floors are strictly ordered
+// (ideal > mild > moderate > severe > harsh) — the monotonicity the
+// degradation acceptance test pins — and sit in the ranges the transceiver
+// literature reports for consumer-grade radios.
+var named = map[string]Profile{
+	"ideal": {Name: "ideal"},
+	// CFO values are *residual* offsets after the transceiver's own
+	// correction (Sec 4.1 removal/restoration); raw oscillator offsets are
+	// kHz-scale but the canceller only sees what correction leaves behind.
+	// Resulting cancellation floors: mild ≈49, moderate ≈37, severe ≈28,
+	// harsh ≈21 dB (see TestSeverityLadderFloorsMonotone).
+	"mild": {
+		Name:             "mild",
+		CFOHz:            2,
+		PhaseNoiseRadRMS: 2e-5,
+		IQGainMismatchDB: 0.02,
+		IQPhaseErrorDeg:  0.1,
+		ADCBits:          12,
+		ADCClipBackoffDB: 14,
+		PAInputBackoffDB: 12,
+		PASmoothness:     3,
+		CSIAgeMs:         25,
+		CoherenceMs:      400,
+		SoundingLossProb: 0.02,
+	},
+	"moderate": {
+		Name:                "moderate",
+		CFOHz:               8,
+		PhaseNoiseRadRMS:    5e-5,
+		IQGainMismatchDB:    0.05,
+		IQPhaseErrorDeg:     0.3,
+		ADCBits:             10,
+		ADCClipBackoffDB:    12,
+		PAInputBackoffDB:    12,
+		PASmoothness:        2,
+		CSIAgeMs:            50,
+		CoherenceMs:         300,
+		SoundingLossProb:    0.05,
+		SoundingCorruptProb: 0.05,
+	},
+	"severe": {
+		Name:                "severe",
+		CFOHz:               25,
+		PhaseNoiseRadRMS:    2e-4,
+		IQGainMismatchDB:    0.2,
+		IQPhaseErrorDeg:     1.0,
+		ADCBits:             8,
+		ADCClipBackoffDB:    10,
+		PAInputBackoffDB:    9,
+		PASmoothness:        2,
+		CSIAgeMs:            100,
+		CoherenceMs:         200,
+		SoundingLossProb:    0.15,
+		SoundingCorruptProb: 0.1,
+	},
+	"harsh": {
+		Name:                "harsh",
+		CFOHz:               50,
+		PhaseNoiseRadRMS:    5e-4,
+		IQGainMismatchDB:    0.4,
+		IQPhaseErrorDeg:     2.0,
+		ADCBits:             6,
+		ADCClipBackoffDB:    8,
+		PAInputBackoffDB:    6,
+		PASmoothness:        2,
+		CSIAgeMs:            200,
+		CoherenceMs:         150,
+		SoundingLossProb:    0.3,
+		SoundingCorruptProb: 0.2,
+	},
+	// Single-axis profiles isolate one impairment at "severe" strength for
+	// attribution sweeps.
+	"cfo":        {Name: "cfo", CFOHz: 25},
+	"phasenoise": {Name: "phasenoise", PhaseNoiseRadRMS: 2e-4},
+	"iq":         {Name: "iq", IQGainMismatchDB: 0.2, IQPhaseErrorDeg: 1.0},
+	"adc":        {Name: "adc", ADCBits: 8, ADCClipBackoffDB: 10},
+	"pa":         {Name: "pa", PAInputBackoffDB: 9, PASmoothness: 2},
+	"stale-csi":  {Name: "stale-csi", CSIAgeMs: 100, CoherenceMs: 200},
+	"lost-sounding": {Name: "lost-sounding",
+		SoundingLossProb: 0.15, SoundingCorruptProb: 0.1,
+		CSIAgeMs: 50, CoherenceMs: 300},
+}
+
+// SeverityLadder returns the composite profiles ordered from ideal to
+// worst — the default degradation sweep.
+func SeverityLadder() []Profile {
+	out := make([]Profile, 0, 5)
+	for _, n := range []string{"ideal", "mild", "moderate", "severe", "harsh"} {
+		out = append(out, named[n])
+	}
+	return out
+}
+
+// Names lists every named profile, sorted.
+func Names() []string {
+	out := make([]string, 0, len(named))
+	for n := range named {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, bool) {
+	p, ok := named[strings.ToLower(strings.TrimSpace(name))]
+	return p, ok
+}
+
+// Parse resolves a -impair flag value: either a profile name ("moderate")
+// or a comma-separated key=value list overlaid on a base profile
+// ("severe,cfo_hz=500,csi_age_ms=80"). An empty string is the ideal
+// profile.
+func Parse(s string) (Profile, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return named["ideal"], nil
+	}
+	parts := strings.Split(s, ",")
+	base := named["ideal"]
+	custom := false
+	if p, ok := ByName(parts[0]); ok {
+		base = p
+		parts = parts[1:]
+	}
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return Profile{}, fmt.Errorf("impair: %q is neither a profile name (%s) nor key=value", part, strings.Join(Names(), ", "))
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return Profile{}, fmt.Errorf("impair: bad value in %q: %v", part, err)
+		}
+		custom = true
+		switch strings.ToLower(strings.TrimSpace(kv[0])) {
+		case "cfo_hz":
+			base.CFOHz = v
+		case "phase_noise_rad":
+			base.PhaseNoiseRadRMS = v
+		case "iq_gain_db":
+			base.IQGainMismatchDB = v
+		case "iq_phase_deg":
+			base.IQPhaseErrorDeg = v
+		case "adc_bits":
+			base.ADCBits = int(v)
+		case "adc_clip_db":
+			base.ADCClipBackoffDB = v
+		case "pa_backoff_db":
+			base.PAInputBackoffDB = v
+		case "pa_smoothness":
+			base.PASmoothness = v
+		case "csi_age_ms":
+			base.CSIAgeMs = v
+		case "coherence_ms":
+			base.CoherenceMs = v
+		case "sounding_loss":
+			base.SoundingLossProb = v
+		case "sounding_corrupt":
+			base.SoundingCorruptProb = v
+		default:
+			return Profile{}, fmt.Errorf("impair: unknown key %q", kv[0])
+		}
+	}
+	if custom {
+		base.Name = s
+	}
+	return base, nil
+}

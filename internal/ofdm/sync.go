@@ -162,8 +162,14 @@ func EstimateCFO(rx []complex128, pr *Preamble) float64 {
 	period := pr.ShortPeriod
 	// Coarse from STF: correlate segments one period apart, skipping the
 	// first two periods (AGC settling in real hardware; keeps symmetry).
+	// A capture shorter than the STF bounds the correlation to what's
+	// there (zero samples yields phase 0 — no offset evidence).
+	stfLen := len(pr.STF)
+	if len(rx) < stfLen {
+		stfLen = len(rx)
+	}
 	var acc complex128
-	for i := 2 * period; i+period < len(pr.STF); i++ {
+	for i := 2 * period; i+period < stfLen; i++ {
 		acc += rx[i+period] * cmplx.Conj(rx[i])
 	}
 	coarse := cmplx.Phase(acc) / (2 * math.Pi * float64(period)) * p.SampleRate

@@ -1,0 +1,46 @@
+package protocol
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzDecodeFeedback parses attacker-shaped compressed CSI reports: the
+// decoder must reject malformed payloads with an error, and anything it
+// accepts must be finite, the right length, and re-encodable — the
+// invariant the sounding exchange relies on when feedback frames arrive
+// corrupted (the impair layer injects exactly that).
+func FuzzDecodeFeedback(f *testing.F) {
+	h := make([]complex128, 52)
+	for i := range h {
+		h[i] = complex(math.Sin(float64(i)), math.Cos(2*float64(i)))
+	}
+	f.Add(EncodeFeedback(h), 52)
+	f.Add(EncodeFeedback(h[:4]), 4)
+	f.Add(EncodeFeedback(make([]complex128, 8)), 8) // zero channel
+	f.Add([]byte{0, 0, 0, 0}, 0)
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2}, 1) // NaN scale bits
+
+	f.Fuzz(func(t *testing.T, payload []byte, n int) {
+		if n < 0 || n > 4096 {
+			t.Skip()
+		}
+		got, err := DecodeFeedback(payload, n)
+		if err != nil {
+			return
+		}
+		if len(got) != n {
+			t.Fatalf("decoded %d carriers, asked for %d", len(got), n)
+		}
+		for i, v := range got {
+			if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+				t.Fatalf("carrier %d decoded to %v", i, v)
+			}
+		}
+		// Round-trip: every accepted estimate must survive re-encoding.
+		if _, err := DecodeFeedback(EncodeFeedback(got), n); err != nil {
+			t.Fatalf("accepted estimate failed re-encode round trip: %v", err)
+		}
+	})
+}

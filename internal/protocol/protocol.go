@@ -52,13 +52,33 @@ func EncodeFeedback(h []complex128) []byte {
 		maxAbs = 1
 	}
 	// Scale so the largest component maps to 127; store the scale as a
-	// float32 bit pattern.
-	scale := 127 / maxAbs
+	// float32 bit pattern. Extreme estimates (components below ~1e-37 or
+	// above ~1e45) would overflow or underflow the float32 scale into a
+	// value the decoder must reject, so clamp to the finite float32 range
+	// and quantize with the exact scale that gets stored.
+	s32 := float32(127 / maxAbs)
+	if math.IsInf(float64(s32), 1) {
+		s32 = math.MaxFloat32
+	}
+	if s32 <= 0 {
+		s32 = math.SmallestNonzeroFloat32
+	}
+	scale := float64(s32)
 	out := make([]byte, 0, 4+2*len(h))
-	bits := math.Float32bits(float32(scale))
+	bits := math.Float32bits(s32)
 	out = append(out, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+	q := func(x float64) byte {
+		v := math.Round(x * scale)
+		if v > 127 {
+			v = 127
+		}
+		if v < -127 {
+			v = -127
+		}
+		return byte(int8(v))
+	}
 	for _, v := range h {
-		out = append(out, byte(int8(math.Round(real(v)*scale))), byte(int8(math.Round(imag(v)*scale))))
+		out = append(out, q(real(v)), q(imag(v)))
 	}
 	return out
 }

@@ -1,6 +1,10 @@
 package relay
 
-import "fastforward/internal/cnf"
+import (
+	"math"
+
+	"fastforward/internal/cnf"
+)
 
 // AmpBound names which constraint of the Sec 3.5 amplification rule
 //
@@ -61,11 +65,48 @@ type AmpDecision struct {
 // Sec 3.5 back-off (the blind repeater of Sec 5.5 amplifies to the
 // maximum extent).
 func ChooseAmplificationDB(cancellationDB, rdAttenDB, paHeadroomDB float64, noiseRule bool) AmpDecision {
+	return chooseAmp(cancellationDB, rdAttenDB-cnf.NoiseMarginDB, paHeadroomDB, noiseRule)
+}
+
+// ChooseAmplificationResidualDB is ChooseAmplificationDB with the noise
+// rule made self-interference-aware: with finite cancellation the relay's
+// receiver noise is not just thermal but n0 + rx·A/C (the residual its own
+// transmission leaves behind the canceller), and that elevated floor is
+// what gets amplified toward the destination. The Sec 3.5 condition
+// "injected noise ≥ 3 dB below the destination floor" then reads
+//
+//	(n0 + rx·A/C) · A / a  ≤  n0 / margin
+//
+// whose positive root replaces the plain a − 3 dB bound. rxOverNoiseDB is
+// the relay's received signal-to-thermal-noise ratio (rx/n0 in dB). As
+// C → ∞ the residual term vanishes and the bound reduces exactly to
+// a − 3 dB, so this only backs off further when cancellation has degraded —
+// the graceful-degradation path uses it; the ideal path keeps the
+// closed-form rule.
+func ChooseAmplificationResidualDB(cancellationDB, rdAttenDB, paHeadroomDB, rxOverNoiseDB float64, noiseRule bool) AmpDecision {
+	noiseBound := rdAttenDB - cnf.NoiseMarginDB
+	// beta = rx/(n0·C): the residual's weight relative to thermal noise per
+	// unit of (linear) amplification.
+	beta := math.Pow(10, (rxOverNoiseDB-cancellationDB)/10)
+	if beta > 0 && !math.IsInf(cancellationDB, 1) {
+		target := math.Pow(10, noiseBound/10)
+		// Positive root of βA² + A − target, in the rationalized form that
+		// stays numerically stable as β → 0 (the naive (√(1+4βt)−1)/(2β)
+		// cancels catastrophically there and collapses to zero gain).
+		a := 2 * target / (1 + math.Sqrt(1+4*beta*target))
+		noiseBound = 10 * math.Log10(a)
+	}
+	return chooseAmp(cancellationDB, noiseBound, paHeadroomDB, noiseRule)
+}
+
+// chooseAmp is the shared min() core; noiseBoundDB is the already-margined
+// noise-rule term.
+func chooseAmp(cancellationDB, noiseBoundDB, paHeadroomDB float64, noiseRule bool) AmpDecision {
 	amp := cancellationDB - cnf.StabilityMarginDB
 	bound := AmpBoundCancellation
 	if noiseRule {
-		if nr := rdAttenDB - cnf.NoiseMarginDB; nr < amp {
-			amp = nr
+		if noiseBoundDB < amp {
+			amp = noiseBoundDB
 			bound = AmpBoundNoiseRule
 		}
 	}

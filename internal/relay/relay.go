@@ -22,6 +22,7 @@ import (
 	"math/cmplx"
 
 	"fastforward/internal/dsp"
+	"fastforward/internal/impair"
 	"fastforward/internal/rng"
 	"fastforward/internal/sic"
 )
@@ -59,6 +60,19 @@ type Config struct {
 	NoiseSource *rng.Source
 	// RxNoiseMW is the relay receiver's thermal noise power.
 	RxNoiseMW float64
+	// Impair is the relay's hardware impairment profile (nil = ideal).
+	// The receive chain (CFO, phase noise, IQ, ADC) distorts what the
+	// digital canceller sees, so cancellation erodes toward the profile's
+	// floor; the transmit chain (PA compression) distorts what feeds back.
+	Impair *impair.Profile
+	// ImpairSource draws the impairment randomness (phase-noise walk);
+	// keep it separate from NoiseSource so toggling impairments never
+	// shifts the noise stream. Required when Impair configures phase noise.
+	ImpairSource *rng.Source
+	// ImpairRefRMS is the AGC reference amplitude the impairment streams
+	// level against (ADC full scale, PA saturation). Defaults to the RMS
+	// of a unit-power signal (1.0) when zero.
+	ImpairRefRMS float64
 }
 
 // FFRelay is a streaming full-duplex relay.
@@ -77,6 +91,9 @@ type FFRelay struct {
 	// lastInjected holds the most recent injected-noise sample, exposed for
 	// tuning procedures that correlate against the known probe.
 	lastInjected complex128
+	// rxImp/txImp are the hardware impairment chains (nil when ideal).
+	rxImp *impair.Stream
+	txImp *impair.Stream
 }
 
 // New builds the relay. It panics on nonsensical configurations (zero
@@ -103,6 +120,18 @@ func New(cfg Config) *FFRelay {
 	if (cfg.RxNoiseMW > 0 || cfg.InjectNoiseMW > 0) && cfg.NoiseSource == nil {
 		panic("relay: NoiseSource required when noise powers are set")
 	}
+	var rxImp, txImp *impair.Stream
+	if !cfg.Impair.IsZero() {
+		if cfg.Impair.PhaseNoiseRadRMS > 0 && cfg.ImpairSource == nil {
+			panic("relay: ImpairSource required when Impair configures phase noise")
+		}
+		ref := cfg.ImpairRefRMS
+		if ref <= 0 {
+			ref = 1
+		}
+		rxImp = impair.NewRxStream(cfg.Impair, cfg.ImpairSource, cfg.SampleRate, ref)
+		txImp = impair.NewTxStream(cfg.Impair, ref)
+	}
 	return &FFRelay{
 		cfg:       cfg,
 		si:        dsp.NewFIR(si),
@@ -113,6 +142,8 @@ func New(cfg Config) *FFRelay {
 		pipe:      dsp.NewDelayLine(cfg.PipelineDelaySamples - 1),
 		ampLin:    dsp.AmplitudeFromDB(cfg.AmplificationDB),
 		phaseStep: 2 * math.Pi * cfg.CFOHz / cfg.SampleRate,
+		rxImp:     rxImp,
+		txImp:     txImp,
 	}
 }
 
@@ -138,6 +169,10 @@ func (r *FFRelay) Step(incoming complex128) complex128 {
 	// it was computed; `pending` (from the previous Step) enters now. A
 	// delay of d thus means tx[n] depends on rx[n-d], never on rx[n].
 	tx := r.pipe.Push(r.pending) + inj
+	if r.txImp != nil {
+		// PA compression acts on the physically transmitted waveform.
+		tx = r.txImp.Push(tx)
+	}
 
 	// 2. Physical reception: incoming + self-interference + thermal noise.
 
@@ -146,6 +181,13 @@ func (r *FFRelay) Step(incoming complex128) complex128 {
 		noise = r.cfg.NoiseSource.ComplexGaussian(r.cfg.RxNoiseMW)
 	}
 	rx := incoming + r.si.Push(tx) + noise
+	if r.rxImp != nil {
+		// Receive-chain impairments distort what the canceller observes,
+		// while its reference (tx) stays clean — the mismatch a linear
+		// canceller cannot subtract, eroding cancellation to the profile's
+		// floor.
+		rx = r.rxImp.Push(rx)
+	}
 
 	// 3. Causal digital cancellation (zero added latency): uses the TX
 	// samples up to and including this instant.
@@ -184,4 +226,10 @@ func (r *FFRelay) Reset() {
 	r.pipe.Reset()
 	r.phase = 0
 	r.pending = 0
+	if r.rxImp != nil {
+		r.rxImp.Reset()
+	}
+	if r.txImp != nil {
+		r.txImp.Reset()
+	}
 }

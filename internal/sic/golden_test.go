@@ -1,0 +1,31 @@
+package sic
+
+import (
+	"testing"
+
+	"fastforward/internal/golden"
+	"fastforward/internal/rng"
+)
+
+// TestCharacterizeGolden pins the full cancellation chain — analog tap
+// placement, attenuator quantization, digital FIR residual — to a
+// seed-fixed baseline. Any change to the tuner, the SI channel model, or
+// the rng stream discipline shows up here as a >1e-9 drift before it can
+// silently move the paper-level figures. Re-baseline with -update.
+func TestCharacterizeGolden(t *testing.T) {
+	cfg := DefaultCharacterizeConfig(2)
+	// Coarse tuning band: the golden gate must stay fast, and drift in the
+	// chain is just as visible at NFreq 8.
+	cfg.NFreq = 8
+	cfg.Samples = 2000
+	out := Characterize(rng.New(42), cfg, nil)
+	got := map[string]float64{}
+	for i, c := range out {
+		got[golden.Key("sic", i, "analog_db")] = c.AnalogDB
+		got[golden.Key("sic", i, "analog_unquantized_db")] = c.UnquantizedDB
+		got[golden.Key("sic", i, "total_db")] = c.TotalDB
+		got[golden.Key("sic", i, "digital_residual_dbm")] = c.DigitalResidualDBm
+		got[golden.Key("sic", i, "tune_iterations")] = float64(c.TuneIterations)
+	}
+	golden.Check(t, "testdata/characterize_golden.json", got)
+}

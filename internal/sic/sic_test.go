@@ -282,6 +282,9 @@ func TestMeasureCancellation(t *testing.T) {
 func TestFullCancellationChainReaches110dB(t *testing.T) {
 	// Sec 3.3 experimental result: 108–110 dB total cancellation with
 	// 20 dBm TX and a −90 dBm noise floor.
+	if testing.Short() {
+		t.Skip("full-chain tuning sweep is slow")
+	}
 	src := rng.New(9)
 	for trial := 0; trial < 5; trial++ {
 		si := NewTypicalSIChannel(src)

@@ -1,0 +1,116 @@
+package testbed
+
+import (
+	"math"
+
+	"fastforward/internal/floorplan"
+	"fastforward/internal/impair"
+	"fastforward/internal/obs"
+	"fastforward/internal/phyrate"
+	"fastforward/internal/stats"
+)
+
+// DegradationPoint summarizes one rung of an impairment severity sweep:
+// how far the profile pushed the relay off its ideal operating point, and
+// how gracefully the system degraded.
+type DegradationPoint struct {
+	// Profile is the rung's label ("ideal" for a zero profile).
+	Profile string
+	// FloorDB is the cancellation ceiling the profile's front-end
+	// impairments impose (+Inf for ideal).
+	FloorDB float64
+	// EffectiveCancellationDB is min(configured budget, FloorDB) — the
+	// cancellation the relay actually achieves on this rung.
+	EffectiveCancellationDB float64
+
+	// Mean PHY throughputs over the client grid.
+	MeanAPOnlyMbps, MeanHalfDuplexMbps, MeanRelayMbps float64
+	// MedianGainVsHD is the median FF/half-duplex throughput ratio (the
+	// paper's headline metric, re-measured under impairment).
+	MedianGainVsHD float64
+
+	// MaxAmpDB and MinHeadroomDB track the amplification clamp: as the
+	// effective cancellation erodes, the stability bound C − margin must
+	// back amplification off, never letting the headroom to positive
+	// feedback close below the stability margin.
+	MaxAmpDB, MinHeadroomDB float64
+
+	// Fault-handling outcomes over the sweep.
+	SoundingMissRounds uint64
+	StaleFilterClients uint64
+	BlindFallbacks     uint64
+	Clients            int
+}
+
+// RunDegradation evaluates one scenario under each profile in order and
+// returns one summary point per profile. Every rung runs on its own
+// metrics registry (amp/headroom extremes must not mix across rungs), so
+// cfg.Obs is ignored here. Rung order, like everything else, is
+// deterministic: the same cfg.Seed drives every rung, so rate differences
+// between points isolate the impairment change alone.
+func RunDegradation(sc floorplan.Scenario, cfg Config, profiles []impair.Profile) []DegradationPoint {
+	out := make([]DegradationPoint, len(profiles))
+	for k := range profiles {
+		p := &profiles[k]
+		c := cfg
+		c.Impair = p
+		reg := obs.New()
+		c.Obs = reg
+		evs := New(sc, c).RunAll()
+
+		pt := DegradationPoint{
+			Profile:                 p.Name,
+			FloorDB:                 p.CancellationFloorDB(),
+			EffectiveCancellationDB: p.EffectiveCancellationDB(cfg.CancellationDB),
+			Clients:                 len(evs),
+		}
+		if pt.Profile == "" {
+			pt.Profile = "ideal"
+		}
+		gains := make([]float64, 0, len(evs))
+		for _, e := range evs {
+			pt.MeanAPOnlyMbps += e.APOnlyMbps
+			pt.MeanHalfDuplexMbps += e.HalfDuplexMbps
+			pt.MeanRelayMbps += e.RelayMbps
+			if e.HalfDuplexMbps > 0 {
+				gains = append(gains, phyrate.RelativeGain(e.RelayMbps, e.HalfDuplexMbps))
+			}
+		}
+		if n := float64(len(evs)); n > 0 {
+			pt.MeanAPOnlyMbps /= n
+			pt.MeanHalfDuplexMbps /= n
+			pt.MeanRelayMbps /= n
+		}
+		pt.MedianGainVsHD = stats.Median(gains)
+
+		snap := reg.Snapshot().Metrics
+		pt.MaxAmpDB = histMax(snap, "relay.amp_db")
+		pt.MinHeadroomDB = histMin(snap, "relay.stability_headroom_db")
+		pt.SoundingMissRounds = counter(snap, "impair.sounding_miss")
+		pt.StaleFilterClients = counter(snap, "impair.stale_filter_clients")
+		pt.BlindFallbacks = counter(snap, "impair.blind_fallback_clients")
+		out[k] = pt
+	}
+	return out
+}
+
+func histMax(m map[string]obs.MetricSnapshot, name string) float64 {
+	if s, ok := m[name]; ok && s.Max != nil {
+		return *s.Max
+	}
+	return math.NaN()
+}
+
+func histMin(m map[string]obs.MetricSnapshot, name string) float64 {
+	if s, ok := m[name]; ok && s.Min != nil {
+		return *s.Min
+	}
+	return math.NaN()
+}
+
+func counter(m map[string]obs.MetricSnapshot, name string) uint64 {
+	if s, ok := m[name]; ok && s.Value != nil {
+		return uint64(*s.Value)
+	}
+	return 0
+}

@@ -31,6 +31,13 @@ type instruments struct {
 	coherence *obs.Histogram
 	tapEnergy *obs.Histogram
 	fitError  *obs.Histogram
+
+	effCancel     *obs.Histogram
+	csiRho        *obs.Histogram
+	soundOK       *obs.Counter
+	soundMiss     *obs.Counter
+	staleFilter   *obs.Counter
+	blindFallback *obs.Counter
 }
 
 func newInstruments(r *obs.Registry) instruments {
@@ -48,6 +55,15 @@ func newInstruments(r *obs.Registry) instruments {
 		coherence: r.Histogram("cnf.coherence_gain_db", "dB", obs.LinearBuckets(-10, 2.5, 21)),
 		tapEnergy: r.Histogram("cnf.tap_energy_db", "dB", obs.LinearBuckets(-20, 10, 16)),
 		fitError:  r.Histogram("cnf.fit_error_db", "dB", obs.LinearBuckets(-60, 5, 14)),
+
+		// Impairment metrics: observed only when Config.Impair is active
+		// (ideal runs carry them at zero).
+		effCancel:     r.Histogram("impair.effective_cancellation_db", "dB", obs.LinearBuckets(0, 10, 13)),
+		csiRho:        r.Histogram("impair.csi_rho", "rho", obs.LinearBuckets(0, 0.1, 11)),
+		soundOK:       r.Counter("impair.sounding_ok", "rounds"),
+		soundMiss:     r.Counter("impair.sounding_miss", "rounds"),
+		staleFilter:   r.Counter("impair.stale_filter_clients", "cells"),
+		blindFallback: r.Counter("impair.blind_fallback_clients", "cells"),
 	}
 	for b := relay.AmpBoundCancellation; b <= relay.AmpBoundFloor; b++ {
 		ins.ampBounds[b] = r.Counter("relay.amp_bound."+b.String(), "cells")

@@ -22,6 +22,7 @@ import (
 	"fastforward/internal/cnf"
 	"fastforward/internal/dsp"
 	"fastforward/internal/floorplan"
+	"fastforward/internal/impair"
 	"fastforward/internal/linalg"
 	"fastforward/internal/obs"
 	"fastforward/internal/ofdm"
@@ -43,6 +44,15 @@ type Config struct {
 	// CancellationDB is the relay's total self-interference cancellation;
 	// it caps amplification (Fig 7/18). Default 110.
 	CancellationDB float64
+	// Impair, when non-nil and non-zero, degrades the relay with the
+	// profile's hardware impairments and control-plane faults: the
+	// cancellation budget is capped at the profile's floor (which backs off
+	// amplification and raises the forwarded residual), the CNF filter is
+	// computed from CSI aged by the profile's staleness model, and lost or
+	// corrupted sounding rounds force the relay onto its last-known-good
+	// filter — or all the way down to blind amplify-and-forward when the
+	// filter ages out. A nil or zero profile changes nothing, bit for bit.
+	Impair *impair.Profile
 	// ProcessingDelayNs is the relay's processing latency (Fig 16 sweeps
 	// this; the prototype achieves <100 ns).
 	ProcessingDelayNs float64
@@ -222,13 +232,50 @@ func (tb *Testbed) EvaluateClient(client floorplan.Point) Evaluation {
 	txMW := dsp.WattsFromDBm(tb.cfg.TxPowerDBm) * 1000
 	n0 := channel.NoiseFloorMW() * dsp.Linear(tb.cfg.NoiseFigureDB)
 
+	// Impairments cap the cancellation budget at the profile's floor and
+	// determine, per client, how stale the filter CSI is (or whether the
+	// relay lost its filter entirely). The ideal path is untouched: a nil
+	// or zero profile leaves imp nil and effC at the configured budget.
+	effC := tb.cfg.CancellationDB
+	var imp *impairState
+	if !tb.cfg.Impair.IsZero() {
+		effC = tb.cfg.Impair.EffectiveCancellationDB(tb.cfg.CancellationDB)
+		imp = tb.soundingState(tb.cfg.Impair, seed, shard)
+		tb.ins.effCancel.Observe(shard, effC)
+	}
+
 	// Relay power budget: cancellation bound, noise rule, and PA limit
 	// (the PA cap keeps the amplified signal within the relay's max TX
-	// power).
+	// power). Degraded cancellation tightens the stability bound, so
+	// amplification backs off as the front-end erodes (no Fig 7 feedback
+	// instability under faults).
 	rdAttenDB := -floorplan.AveragePowerGainDB(rdPaths)
 	rxAtRelayDBm := tb.cfg.TxPowerDBm + floorplan.AveragePowerGainDB(tb.apRelayPaths)
-	amp := relay.ChooseAmplificationDB(tb.cfg.CancellationDB, rdAttenDB,
-		tb.cfg.RelayMaxTxDBm-rxAtRelayDBm, tb.cfg.NoiseRule)
+	paHeadroomDB := tb.cfg.RelayMaxTxDBm - rxAtRelayDBm
+	var amp relay.AmpDecision
+	if imp != nil {
+		// Degraded cancellation leaves residual self-interference in the
+		// relay's receiver; the noise rule must back amplification off for
+		// that elevated floor too, or the forwarded residual swamps the
+		// destination (the valley between "relay off" and "relay clean").
+		amp = relay.ChooseAmplificationResidualDB(effC, rdAttenDB, paHeadroomDB,
+			rxAtRelayDBm-dsp.DB(n0), tb.cfg.NoiseRule)
+	} else {
+		amp = relay.ChooseAmplificationDB(effC, rdAttenDB, paHeadroomDB, tb.cfg.NoiseRule)
+	}
+	if imp != nil && tb.useCNF(imp) && imp.rho < 1 {
+		// Stale CSI makes the constructive filter only rho-correlated with
+		// the channel it is applied to; the misaligned remainder combines
+		// with random phase and can cancel the direct path. Shrink the relay
+		// amplitude by the MMSE confidence rho (E[h|ĥ] = rho·ĥ), so a relay
+		// that knows less transmits less — the same back-off-to-safety shape
+		// as the cancellation bound.
+		amp.AmpDB += 2 * dsp.DB(imp.rho)
+		if amp.AmpDB < 0 {
+			amp.AmpDB = 0
+		}
+		amp.StabilityHeadroomDB = effC - amp.AmpDB
+	}
 	ampDB := amp.AmpDB
 
 	// ISI weighting: the latest significant relayed energy (multipath tail
@@ -245,16 +292,95 @@ func (tb *Testbed) EvaluateClient(client floorplan.Point) Evaluation {
 	// (Sec 3.3/Fig 18 — at 110 dB the residual sits at the thermal floor).
 	rxAtRelayMW := txMW * dsp.Linear(floorplan.AveragePowerGainDB(tb.apRelayPaths))
 	relayTxMW := rxAtRelayMW * dsp.Linear(ampDB)
-	relayNoiseMW := n0 + relayTxMW*dsp.Linear(-tb.cfg.CancellationDB)
+	relayNoiseMW := n0 + relayTxMW*dsp.Linear(-effC)
 
 	if tb.cfg.MIMO {
-		tb.evaluateMIMO(&ev, src, shard, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
+		tb.evaluateMIMO(&ev, src, shard, imp, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
 	} else {
-		tb.evaluateSISO(&ev, shard, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
+		tb.evaluateSISO(&ev, shard, imp, sdPaths, rdPaths, txMW, n0, relayNoiseMW, ampDB, useful, isiFrac)
 	}
 	ev.Class = phyrate.Classify(ev.APOnlySNRdB, ev.APOnlyRank)
 	tb.ins.recordEvaluation(shard, &ev, amp)
 	return ev
+}
+
+// Sounding-fault policy: each client evaluation simulates soundingRounds
+// refresh intervals to reach a steady-state staleness draw; the relay
+// holds its last-known-good filter through maxStaleIntervals missed rounds
+// before declaring it dead and falling back to blind amplify-and-forward.
+const (
+	soundingRounds    = 8
+	maxStaleIntervals = 4
+)
+
+// impairState is a client's control-plane impairment outcome: the source
+// for CSI-aging draws, the combined correlation between the CSI the filter
+// was computed from and the channel it is applied to, and whether the
+// relay lost its filter outright.
+type impairState struct {
+	src   *rng.Source
+	rho   float64
+	blind bool
+}
+
+// soundingState simulates the sounding rounds for one client under the
+// profile's loss model. The source is derived from the client seed through
+// impair.Source, so channel synthesis never shares a stream with fault
+// injection, and exactly soundingRounds variates are always consumed —
+// staying deterministic for any worker count.
+func (tb *Testbed) soundingState(p *impair.Profile, seed int64, shard int) *impairState {
+	isrc := impair.Source(seed, 0)
+	tr := cnf.FilterTracker{MaxStaleIntervals: maxStaleIntervals}
+	filter := []complex128{1} // marker: tracker state is all we need here
+	for k := 0; k < soundingRounds; k++ {
+		tr.Advance(p.DrawSounding(isrc), func() []complex128 { return filter })
+	}
+	tb.ins.soundOK.Add(shard, uint64(tr.Updates))
+	tb.ins.soundMiss.Add(shard, uint64(tr.Misses))
+	st := &impairState{src: isrc, rho: 1}
+	if _, ok := tr.Current(); !ok {
+		st.blind = true
+		tb.ins.blindFallback.Inc(shard)
+		return st
+	}
+	// Each missed round extends the filter CSI's age by one full refresh
+	// interval on top of the profile's baseline within-interval age.
+	st.rho = math.Pow(p.AgingRho(), float64(1+tr.StaleIntervals()))
+	if tr.StaleIntervals() > 0 {
+		tb.ins.staleFilter.Inc(shard)
+	}
+	tb.ins.csiRho.Observe(shard, st.rho)
+	return st
+}
+
+// ageSISO returns the CSI the filter is computed from: the true channel
+// decorrelated to the state's aging rho. Rates always evaluate on the true
+// channel — only the filter sees stale state.
+func (st *impairState) ageSISO(h []complex128) []complex128 {
+	if st == nil || st.rho >= 1 {
+		return h
+	}
+	return impair.AgeCSI(st.src, h, st.rho)
+}
+
+// ageMatrices is ageSISO for a per-carrier stack of MIMO responses.
+func (st *impairState) ageMatrices(H []*linalg.Matrix) []*linalg.Matrix {
+	if st == nil || st.rho >= 1 {
+		return H
+	}
+	out := make([]*linalg.Matrix, len(H))
+	for i, m := range H {
+		c := m.Clone()
+		c.Data = impair.AgeCSI(st.src, c.Data, st.rho)
+		out[i] = c
+	}
+	return out
+}
+
+// useCNF reports whether this client still runs the constructive filter:
+// CNF must be configured and the relay must not have aged out its filter.
+func (tb *Testbed) useCNF(imp *impairState) bool {
+	return tb.cfg.CNF && (imp == nil || !imp.blind)
 }
 
 func minDelay(paths []floorplan.Path) float64 {
@@ -283,7 +409,7 @@ func maxDelay(paths []floorplan.Path) float64 {
 }
 
 // evaluateSISO fills the evaluation for single-antenna devices.
-func (tb *Testbed) evaluateSISO(ev *Evaluation, shard int, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
+func (tb *Testbed) evaluateSISO(ev *Evaluation, shard int, imp *impairState, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
 	p := tb.params
 	fs := p.SampleRate
 	hsd := floorplan.SISOChannel(sdPaths, fs, 0).ResponseVector(tb.carriers, p.NFFT)
@@ -303,10 +429,11 @@ func (tb *Testbed) evaluateSISO(ev *Evaluation, shard int, sdPaths, rdPaths []fl
 	r2 := phyrate.SISORateMbps(p, hrd, txMW, n0, nil)
 	ev.HalfDuplexMbps = bestHalfDuplex(ev.APOnlyMbps, r1, r2)
 
-	// Relay (FF or amplify-only).
+	// Relay (FF or amplify-only; a client whose relay aged out its filter
+	// degrades to the amplify-only branch).
 	var hc []complex128
-	if tb.cfg.CNF {
-		hc = cnf.DesiredSISO(hsd, hsr, hrd, ampDB)
+	if tb.useCNF(imp) {
+		hc = cnf.DesiredSISO(imp.ageSISO(hsd), imp.ageSISO(hsr), imp.ageSISO(hrd), ampDB)
 		if tb.cfg.SynthesizedFilter {
 			impl := cnf.Synthesize(hc, tb.carriers, p.NFFT, fs)
 			hc = impl.ApplyImplementation(tb.carriers, p.NFFT, fs)
@@ -348,7 +475,7 @@ func (tb *Testbed) evaluateSISO(ev *Evaluation, shard int, sdPaths, rdPaths []fl
 }
 
 // evaluateMIMO fills the evaluation for 2×2 devices (2-antenna relay).
-func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, shard int, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
+func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, shard int, imp *impairState, sdPaths, rdPaths []floorplan.Path, txMW, n0, relayNoiseMW, ampDB float64, useful, isiFrac float64) {
 	p := tb.params
 	fs := p.SampleRate
 	const nAnt = 2
@@ -384,8 +511,8 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, shard int, sdPa
 
 	// Relay filter.
 	var FA []*linalg.Matrix
-	if tb.cfg.CNF {
-		FA = cnf.DesiredMIMO(Hsd, Hsr, Hrd, ampDB, src)
+	if tb.useCNF(imp) {
+		FA = cnf.DesiredMIMO(imp.ageMatrices(Hsd), imp.ageMatrices(Hsr), imp.ageMatrices(Hrd), ampDB, src)
 		if tb.cfg.SynthesizedFilter {
 			impl := cnf.SynthesizeMIMO(FA, tb.carriers, p.NFFT, fs)
 			FA = impl.ApplyImplementation(tb.carriers, p.NFFT, fs)

@@ -1,0 +1,67 @@
+package wifi
+
+import (
+	"testing"
+
+	"fastforward/internal/ofdm"
+)
+
+func fuzzSamples(data []byte) []complex128 {
+	n := len(data) / 4
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		re := int16(uint16(data[4*i]) | uint16(data[4*i+1])<<8)
+		im := int16(uint16(data[4*i+2]) | uint16(data[4*i+3])<<8)
+		out[i] = complex(float64(re)/8192, float64(im)/8192)
+	}
+	return out
+}
+
+func fuzzBytes(x []complex128) []byte {
+	out := make([]byte, 4*len(x))
+	for i, v := range x {
+		re := int16(real(v) * 8192)
+		im := int16(imag(v) * 8192)
+		out[4*i] = byte(uint16(re))
+		out[4*i+1] = byte(uint16(re) >> 8)
+		out[4*i+2] = byte(uint16(im))
+		out[4*i+3] = byte(uint16(im) >> 8)
+	}
+	return out
+}
+
+// FuzzDecode feeds the full frame decoder — packet detect, CFO correction,
+// channel estimation, demap, FCS — arbitrary waveforms. The decoder faces
+// relayed, impaired, half-overheard signals in every experiment; whatever
+// arrives, it must reject cleanly (error) or return a parsed frame, never
+// panic or return out-of-range metadata.
+func FuzzDecode(f *testing.F) {
+	p := ofdm.Default20MHz()
+	c := NewCodec(p)
+	// Seeds: valid frames at a robust and a dense MCS (int16-quantized, so
+	// the mutator starts from decodable airtime), noise, and a bare
+	// preamble with no payload symbols behind it.
+	for _, idx := range []int{0, 4} {
+		if m, err := MCSByIndex(idx); err == nil {
+			if tx, err := c.Encode([]byte("fastforward fuzz seed frame"), m); err == nil {
+				f.Add(fuzzBytes(tx))
+			}
+		}
+	}
+	f.Add(make([]byte, 4096))
+	f.Add(fuzzBytes(ofdm.NewPreamble(p).Samples()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		rx := fuzzSamples(data)
+		res, err := c.Decode(rx)
+		if err != nil {
+			return
+		}
+		if res == nil {
+			t.Fatal("nil DecodeResult without error")
+		}
+	})
+}
