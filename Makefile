@@ -1,15 +1,17 @@
 # Developer entry points for the FastForward reproduction.
 #
 # `make check` is the pre-merge gate: the tier-1 flow (build + full test
-# suite) plus `go vet`, a race-detector pass over the packages the
-# parallel sweep engine made concurrent (internal/par, internal/fft,
-# internal/ident, and the testbed's parallel paths), and a manifest
-# smoke run of every cmd binary (see OBSERVABILITY.md).
+# suite) plus `go vet`, the fflint domain analyzers (determinism, seed
+# flow, dB-unit discipline, metric-name registry — see DESIGN.md §7), a
+# race-detector pass over the packages the parallel sweep engine made
+# concurrent (internal/par, internal/fft, internal/ident, and the
+# testbed's parallel paths), and a manifest smoke run of every cmd
+# binary (see OBSERVABILITY.md).
 
 GO ?= go
 SMOKE := .smoke
 
-.PHONY: all build test vet race check bench manifest-smoke fuzz-smoke
+.PHONY: all build test vet lint race check bench manifest-smoke fuzz-smoke
 
 all: check
 
@@ -21,6 +23,15 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis: detrand (no wall-clock or unseeded
+# randomness in sweep-path packages), seedflow (worker rngs derive from
+# rng.ItemSeed), dbunits (dB/linear naming discipline), obsmetrics
+# (metric names match internal/obs/METRICS.txt, OBSERVABILITY.md, and
+# the manifestcheck -require lists above). Suppress a finding with
+# `//fflint:allow <analyzer> <reason>` — the reason is mandatory.
+lint: build
+	$(GO) run ./cmd/fflint ./...
 
 # The race pass runs the concurrent packages in full, plus the testbed's
 # parallel-vs-serial determinism tests (the full testbed suite under the
@@ -34,7 +45,7 @@ race:
 	$(GO) test -race -short ./internal/sic
 	$(GO) test -race -run 'Parallel|Slot|Determinism' ./internal/testbed
 
-check: test vet race manifest-smoke
+check: test vet lint race manifest-smoke
 
 # Run every cmd binary with -manifest on a tiny configuration and
 # validate the JSON it writes; ffsim additionally must report nonzero

@@ -1,0 +1,76 @@
+// Command fflint is the repository's domain-specific static-analysis
+// suite: a multichecker running the four fastforward invariant analyzers
+//
+//	detrand    — no wall clock, global rand, or order-sensitive map
+//	             iteration in sweep-path packages
+//	seedflow   — rngs inside par work-item bodies are seeded from
+//	             rng.ItemSeed
+//	dbunits    — dB-named and linear-named floats never mix without an
+//	             explicit conversion
+//	obsmetrics — metric names match the checked-in registry, which in
+//	             turn matches OBSERVABILITY.md and the Makefile
+//
+// over the packages named by its arguments (default ./...). Findings
+// print in go-vet style (file:line:col: analyzer: message) and a nonzero
+// exit reports that any survived. A site that is legitimate by design
+// carries a `//fflint:allow <analyzer> <reason>` comment; the reason is
+// part of the syntax.
+//
+// Usage:
+//
+//	fflint [-list] [packages...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastforward/internal/analysis"
+	"fastforward/internal/analysis/dbunits"
+	"fastforward/internal/analysis/detrand"
+	"fastforward/internal/analysis/driver"
+	"fastforward/internal/analysis/obsmetrics"
+	"fastforward/internal/analysis/seedflow"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := []*analysis.Analyzer{
+		detrand.Default(),
+		seedflow.Default(),
+		dbunits.Default(),
+		obsmetrics.Default(),
+	}
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fflint:", err)
+		os.Exit(2)
+	}
+	diags, err := driver.Run(wd, analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fflint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fflint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

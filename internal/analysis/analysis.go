@@ -1,0 +1,167 @@
+// Package analysis is a minimal, dependency-free core for the fflint
+// static-analysis suite. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic, the
+// analysistest fixture layout) so the domain analyzers can migrate onto
+// the real framework by swapping import paths once the module is allowed
+// a dependency on x/tools — this repository builds fully offline, so the
+// framework is vendored in spirit rather than in go.mod (see DESIGN.md
+// §7).
+//
+// The suppression mechanism is the one x/tools lacks and domain lint
+// needs: a `//fflint:allow <analyzer> <reason>` comment on the flagged
+// line (or the line above it) suppresses that analyzer's diagnostics for
+// the line. The reason text is mandatory — an allowlist entry without a
+// written justification is itself a finding.
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a name used in diagnostics and
+// allowlist comments, documentation, and the Run function applied to each
+// package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is the unit of work handed to an Analyzer: one type-checked
+// package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ModuleDir is the filesystem root of the module under analysis (the
+	// directory holding go.mod). Analyzers that consult checked-in
+	// registries (obsmetrics) resolve them against this. Empty in fixture
+	// runs unless the harness sets it.
+	ModuleDir string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers applies each analyzer to the package described by the pass
+// template and returns the findings sorted by position, with allowlisted
+// lines removed. The caller fills every Pass field except Analyzer and
+// the diagnostic sink.
+func RunAnalyzers(base Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := base
+		pass.Analyzer = a
+		pass.diags = &diags
+		if err := a.Run(&pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", base.Pkg.Path(), a.Name, err)
+		}
+	}
+	diags = filterSuppressed(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// allowRE matches `//fflint:allow <analyzer> <reason>`; the reason is
+// required so every allowlist entry documents why the site is legitimate.
+var allowRE = regexp.MustCompile(`//fflint:allow\s+([a-z,]+)\s+\S`)
+
+// filterSuppressed drops diagnostics whose line (or the line above)
+// carries a matching fflint:allow comment.
+func filterSuppressed(diags []Diagnostic) []Diagnostic {
+	lines := map[string][]string{} // filename -> lines
+	out := diags[:0]
+	for _, d := range diags {
+		ls, ok := lines[d.Pos.Filename]
+		if !ok {
+			ls = readLines(d.Pos.Filename)
+			lines[d.Pos.Filename] = ls
+		}
+		if lineAllows(ls, d.Pos.Line, d.Analyzer, false) || lineAllows(ls, d.Pos.Line-1, d.Analyzer, true) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// lineAllows reports whether 1-based line n of ls allowlists analyzer
+// name. With commentOnly (the line-above case), only a pure comment line
+// counts, so an allow comment trailing statement N never leaks onto
+// statement N+1.
+func lineAllows(ls []string, n int, name string, commentOnly bool) bool {
+	if n < 1 || n > len(ls) {
+		return false
+	}
+	line := ls[n-1]
+	if commentOnly && !strings.HasPrefix(strings.TrimSpace(line), "//") {
+		return false
+	}
+	m := allowRE.FindStringSubmatch(line)
+	if m == nil {
+		return false
+	}
+	for _, an := range strings.Split(m[1], ",") {
+		if an == name {
+			return true
+		}
+	}
+	return false
+}
+
+func readLines(filename string) []string {
+	f, err := os.Open(filename)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var ls []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		ls = append(ls, sc.Text())
+	}
+	return ls
+}

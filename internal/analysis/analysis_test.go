@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastforward/internal/analysis"
+)
+
+// The suppression contract: a trailing `//fflint:allow <name> <reason>`
+// suppresses its own line; a standalone allow comment suppresses the
+// line below; an allow without a reason suppresses nothing; an allow for
+// a different analyzer suppresses nothing; a trailing allow never leaks
+// onto the next line.
+const suppressionSrc = `package p
+
+func a() {}
+func b() {} //fflint:allow testcheck documented reason
+//fflint:allow testcheck standalone comment above
+func c() {}
+func d() {} //fflint:allow testcheck
+func e() {} //fflint:allow othercheck documented reason
+func f() {} //fflint:allow testcheck trailing allow must not leak down
+func g() {}
+`
+
+func TestSuppression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(suppressionSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportFuncs := &analysis.Analyzer{
+		Name: "testcheck",
+		Doc:  "reports every function declaration by name",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fn, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fn.Pos(), "%s", fn.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := analysis.RunAnalyzers(analysis.Pass{
+		Fset:      fset,
+		Files:     []*ast.File{file},
+		Pkg:       types.NewPackage("p", "p"),
+		TypesInfo: &types.Info{},
+	}, []*analysis.Analyzer{reportFuncs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{"a", "d", "e", "g"}
+	if len(got) != len(want) {
+		t.Fatalf("surviving diagnostics = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("surviving diagnostics = %v, want %v", got, want)
+		}
+	}
+}

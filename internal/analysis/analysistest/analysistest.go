@@ -1,0 +1,215 @@
+// Package analysistest runs fflint analyzers over small fixture packages
+// and checks their diagnostics against `// want "regexp"` comments, the
+// same convention as golang.org/x/tools/go/analysis/analysistest so
+// fixtures survive a future migration to the real framework unchanged.
+//
+// Fixtures live under <testdata>/src/<importpath>/ — GOPATH layout, like
+// the x/tools harness. Fixture imports resolve against <testdata>/src
+// first (letting fixtures carry tiny stubs of internal packages such as
+// `par` or `rng`), then fall back to the standard library, type-checked
+// from GOROOT source so the harness needs no network and no pre-built
+// export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"fastforward/internal/analysis"
+)
+
+// Run loads each fixture package and applies the analyzer, failing t on
+// any mismatch between reported and wanted diagnostics. It returns the
+// surviving diagnostics for optional further assertions.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) []analysis.Diagnostic {
+	t.Helper()
+	var all []analysis.Diagnostic
+	for _, path := range pkgpaths {
+		all = append(all, runOne(t, testdata, a, path)...)
+	}
+	return all
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset: fset,
+		root: filepath.Join(testdata, "src"),
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*entry{},
+	}
+	pkg, files, info, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.RunAnalyzers(analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		ModuleDir: filepath.Join(testdata, "src", pkgpath),
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	checkWants(t, fset, files, diags)
+	return diags
+}
+
+// wantRE pulls the quoted regexps out of a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantArgRE accepts both x/tools-style backquoted regexps and
+// double-quoted ones.
+var wantArgRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					raw := arg[1]
+					if raw == "" {
+						raw = strings.ReplaceAll(arg[2], `\"`, `"`)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// entry caches one fixture package load (or marks it in progress to catch
+// import cycles).
+type entry struct {
+	pkg     *types.Package
+	loading bool
+}
+
+type loader struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*entry
+}
+
+// load parses and type-checks the fixture package at root/path, returning
+// the package, its files, and type info. Non-fixture imports fall back to
+// the standard library importer.
+func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}
+
+// Import implements types.Importer over the fixture tree with stdlib
+// fallback.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("fixture import cycle through %q", path)
+		}
+		return e.pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		l.pkgs[path] = &entry{loading: true}
+		pkg, _, _, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = &entry{pkg: pkg}
+		return pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = &entry{pkg: pkg}
+	return pkg, nil
+}

@@ -1,0 +1,12 @@
+package dbunits_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/analysistest"
+	"fastforward/internal/analysis/dbunits"
+)
+
+func TestDBUnits(t *testing.T) {
+	analysistest.Run(t, "testdata", dbunits.Default(), "dbtest")
+}

@@ -1,0 +1,68 @@
+// Package dbtest exercises the dbunits rules: dB-named and linear-named
+// floats must not mix across operators, assignments, calls, or returns
+// without an explicit conversion.
+package dbtest
+
+import "math"
+
+func operators(gainDB, powerLin float64) {
+	_ = gainDB + powerLin // want `dB-named value gainDB \+ linear-named value`
+	_ = gainDB < powerLin // want `dB-named value gainDB < linear-named value`
+	_ = gainDB - 3        // dB minus dimensionless margin: allowed
+	_ = gainDB / 2        // scaling is exempt: allowed
+	_ = powerLin * 2      // allowed
+}
+
+func assignments(gainDB, powerLin float64) {
+	var thresholdDB float64
+	thresholdDB = powerLin // want `assigning linear-named value to dB-named thresholdDB`
+	_ = thresholdDB
+
+	ratioLin := gainDB // want `assigning dB-named value to linear-named ratioLin`
+	_ = ratioLin
+
+	var marginDB = powerLin // want `assigning linear-named value to dB-named marginDB`
+	_ = marginDB
+
+	convertedLin := math.Pow(10, gainDB/10) // explicit conversion: allowed
+	backDB := 10 * math.Log10(convertedLin) // scaling product has no unit claim: allowed
+	_ = backDB
+}
+
+func combine(attenDB, noiseLin float64) float64 {
+	return attenDB + 10*math.Log10(noiseLin) // converted before combining: allowed
+}
+
+func sink(levelDB, floorLin float64) {}
+
+func callArguments(gainDB, powerLin float64) {
+	sink(powerLin, gainDB) // want `passing linear-named value powerLin to dB-named parameter levelDB` `passing dB-named value gainDB to linear-named parameter floorLin`
+	sink(gainDB, powerLin) // units line up: allowed
+}
+
+func ThresholdDB(powerLin float64) float64 {
+	return powerLin // want `function ThresholdDB returns a linear-named value`
+}
+
+// WattsFromDBm is the regression fixture for the conversion-function
+// false positive the initial repo sweep surfaced: XFromY names promise
+// X (linear watts), not the Y they convert from.
+func WattsFromDBm(dbm float64) float64 {
+	return math.Pow(10, (dbm-30)/10) // conversion function returning linear: allowed
+}
+
+// DBFromLinear converts the other way; returning a log-domain expression
+// built from a dB-named call is consistent with the name.
+func DBFromLinear(ratioLin float64) float64 {
+	return 10 * math.Log10(ratioLin)
+}
+
+func allowlisted(gainDB, powerLin float64) float64 {
+	return gainDB + powerLin //fflint:allow dbunits fixture demonstrating a documented unit-mixing site
+}
+
+func BudgetDB(powerLin float64) func() float64 {
+	// A func literal inside a DB-named function has no name contract of
+	// its own; its linear return must not inherit BudgetDB's promise.
+	return func() float64 { return powerLin }
+}

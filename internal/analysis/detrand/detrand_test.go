@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/analysistest"
+	"fastforward/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	a := detrand.New(detrand.Config{
+		SweepPackages: []string{"sweeptest"},
+		WallClock:     []string{"clockok"},
+	})
+	analysistest.Run(t, "testdata", a, "sweeptest", "clockok")
+}

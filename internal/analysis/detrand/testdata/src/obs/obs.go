@@ -1,0 +1,17 @@
+// Package obs is a stub of fastforward/internal/obs for detrand
+// fixtures: just enough surface for the Gauge.Set map-range rule.
+package obs
+
+type Registry struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Gauge(name, unit string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name, unit string, bounds []float64) *Histogram { return &Histogram{} }
+
+func (g *Gauge) Set(v float64) {}
+
+func (h *Histogram) Observe(shard int, v float64) {}

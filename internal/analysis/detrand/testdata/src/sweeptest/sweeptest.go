@@ -1,0 +1,90 @@
+// Package sweeptest exercises every detrand rule: wall-clock reads,
+// global math/rand draws, and order-sensitive map iteration, plus the
+// allowed forms of each.
+package sweeptest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"obs"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `wall-clock call time.Now`
+	return t.UnixNano()
+}
+
+func wallClockValue() func() time.Time {
+	return time.Now // want `wall-clock call time.Now`
+}
+
+func wallClockAllowed() time.Time {
+	// The annotated escape hatch: reason text is part of the syntax.
+	return time.Now() //fflint:allow detrand fixture demonstrating a documented wall-clock site
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `global math/rand draw rand.Float64`
+}
+
+func seededRandOK() float64 {
+	r := rand.New(rand.NewSource(42)) // constructors are fine: seeded local stream
+	return r.Float64()
+}
+
+func mapAppendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append into out inside range over map`
+	}
+	return out
+}
+
+func mapAppendSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // collect-then-sort: deterministic, allowed
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mapFloatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside range over map`
+	}
+	return sum
+}
+
+func mapIntAccumulate(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v // integer addition is order-independent: allowed
+	}
+	return n
+}
+
+func mapGaugeSet(r *obs.Registry, m map[string]float64) {
+	g := r.Gauge("x", "u")
+	for _, v := range m {
+		g.Set(v) // want `obs.Gauge set inside range over map`
+	}
+}
+
+func mapHistogramOK(r *obs.Registry, m map[string]float64) {
+	h := r.Histogram("x", "u", nil)
+	for _, v := range m {
+		h.Observe(0, v) // histograms merge order-independently: allowed
+	}
+}
+
+func mapToMapOK(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v // map writes are order-independent: allowed
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package driver_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastforward/internal/analysis"
+	"fastforward/internal/analysis/dbunits"
+	"fastforward/internal/analysis/detrand"
+	"fastforward/internal/analysis/driver"
+	"fastforward/internal/analysis/obsmetrics"
+	"fastforward/internal/analysis/seedflow"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// The sweep-path packages the analyzers guard must load through the real
+// `go list -export` driver and come up clean. This is the same contract
+// `make lint` enforces repo-wide; keeping a slice of it in `go test`
+// means a regression fails fast even when lint isn't run.
+func TestDefaultAnalyzersCleanOnSweepPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	analyzers := []*analysis.Analyzer{
+		detrand.Default(),
+		seedflow.Default(),
+		dbunits.Default(),
+		obsmetrics.Default(),
+	}
+	diags, err := driver.Run(root, analyzers,
+		"fastforward/internal/obs",
+		"fastforward/internal/relay",
+		"fastforward/internal/par",
+	)
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,17 @@
+package obsmetrics_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/analysistest"
+	"fastforward/internal/analysis/obsmetrics"
+)
+
+func TestObsMetrics(t *testing.T) {
+	a := obsmetrics.New(obsmetrics.Config{
+		RegistryFile:      "METRICS.txt",
+		ObservabilityFile: "OBS.md",
+		MakefileFile:      "Makefile",
+	})
+	analysistest.Run(t, "testdata", a, "metricuse_ok", "metricuse_bad", "crossval/obs")
+}

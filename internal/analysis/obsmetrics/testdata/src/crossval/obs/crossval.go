@@ -1,0 +1,6 @@
+package obs // want `registered metric "b.undocumented_db" is not documented in OBS.md` `Makefile requires manifest metric "d.missing_db" that is not in the metric registry`
+
+// The cross-validation fixture: analyzing a package whose import path
+// ends in /obs holds the sibling METRICS.txt to OBS.md (every registered
+// name documented) and to the Makefile -require lists (every required
+// name registered). Both violations report at the package clause above.

@@ -1,0 +1,14 @@
+// Package metricuse_bad exercises the flagged metric-name forms.
+package metricuse_bad
+
+import "obs"
+
+func register(r *obs.Registry, mode string) {
+	r.Counter("sweep.cells", "cells")                // registered: allowed
+	r.Counter("sweep.typo_cells", "cells")           // want `metric "sweep.typo_cells" passed to Counter is not in the metric registry`
+	r.Histogram("sweep.rate_mbs", "Mbps", nil)       // want `metric "sweep.rate_mbs" passed to Histogram is not in the metric registry`
+	r.Counter("sweep.unknown_prefix."+mode, "cells") // want `no registered metric extends the dynamic prefix "sweep.unknown_prefix."`
+	r.Gauge(pick(mode), "dB")                        // want `metric name passed to Gauge is not a checkable literal`
+}
+
+func pick(mode string) string { return "sweep." + mode }

@@ -1,0 +1,18 @@
+// Package metricuse_ok exercises the allowed metric-name forms:
+// registered literals, registered dynamic prefixes, stage timers (out of
+// scope), and the annotated escape hatch.
+package metricuse_ok
+
+import "obs"
+
+func register(r *obs.Registry, mode string) {
+	r.Counter("sweep.cells", "cells")
+	r.Gauge("sweep.final_db", "dB")
+	r.Histogram("sweep.rate_mbps", "Mbps", nil)
+	r.Counter("sweep.bound."+mode, "cells") // registered names extend the prefix
+	r.Stage("sweep.run")                    // stage timers are wall-clock diagnostics, unregistered
+	name := computed()
+	r.Counter(name, "cells") //fflint:allow obsmetrics fixture demonstrating a documented dynamic name
+}
+
+func computed() string { return "sweep.cells" }

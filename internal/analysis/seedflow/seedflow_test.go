@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/analysistest"
+	"fastforward/internal/analysis/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, "testdata", seedflow.Default(), "seedtest")
+}

@@ -1,0 +1,23 @@
+// Package par is a stub of fastforward/internal/par for seedflow
+// fixtures.
+package par
+
+func ForEach(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+func FlatMap[T any](n, workers int, fn func(i int) []T) []T {
+	var out []T
+	for _, p := range Map(n, workers, fn) {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package rng is a stub of fastforward/internal/rng for seedflow
+// fixtures.
+package rng
+
+type Source struct{ seed int64 }
+
+func New(seed int64) *Source { return &Source{seed: seed} }
+
+func ItemSeed(base int64, i int) int64 { return base ^ int64(i) }
+
+func (s *Source) Fork() *Source { return &Source{seed: s.seed + 1} }
+
+func (s *Source) Float64() float64 { return 0 }

@@ -1,0 +1,70 @@
+// Package seedtest exercises the seedflow rules: every rng constructed
+// inside a par work-item body must be seeded through rng.ItemSeed, and
+// sources shared across items must not be Fork()ed from inside one.
+package seedtest
+
+import (
+	"math/rand"
+
+	"par"
+	"rng"
+)
+
+func directSeedOK(base int64, n int) {
+	par.ForEach(n, 0, func(i int) {
+		s := rng.New(rng.ItemSeed(base, i)) // seeded via ItemSeed: allowed
+		_ = s.Float64()
+	})
+}
+
+func flowedSeedOK(base int64, n int) []float64 {
+	return par.Map(n, 0, func(i int) float64 {
+		seed := rng.ItemSeed(base, i)
+		derived := seed + 1 // taint survives arithmetic
+		s := rng.New(derived)
+		return s.Float64()
+	})
+}
+
+func rawIndexSeed(n int) {
+	par.ForEach(n, 0, func(i int) {
+		s := rng.New(int64(i)) // want `seed not derived from rng.ItemSeed`
+		_ = s.Float64()
+	})
+}
+
+func constantSeed(n int) {
+	par.ForEach(n, 0, func(i int) {
+		src := rand.NewSource(42) // want `seed not derived from rng.ItemSeed`
+		_ = rand.New(src)
+	})
+}
+
+func sharedFork(base int64, n int) {
+	shared := rng.New(base)
+	par.ForEach(n, 0, func(i int) {
+		s := shared.Fork() // want `Fork of a source declared outside the par work-item body`
+		_ = s.Float64()
+	})
+}
+
+func localForkOK(base int64, n int) {
+	par.ForEach(n, 0, func(i int) {
+		mine := rng.New(rng.ItemSeed(base, i))
+		sub := mine.Fork() // forking an item-local source: allowed
+		_ = sub.Float64()
+	})
+}
+
+func allowlisted(n int) {
+	par.ForEach(n, 0, func(i int) {
+		s := rng.New(7) //fflint:allow seedflow fixture demonstrating a documented constant-seed site
+		_ = s.Float64()
+	})
+}
+
+func outsideParOK(seed int64) {
+	// Constructions outside work-item bodies are out of scope.
+	s := rng.New(seed)
+	_ = s.Float64()
+}

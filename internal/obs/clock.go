@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the only wall-clock access in the obs package, and stage
+// timers are the only consumer. Two properties keep the determinism
+// story intact (and are why the detrand allowlist below is legitimate):
+//
+//   - The anchor is captured lazily on the first timer reading — never
+//     at package init — so a process that starts no stage timer never
+//     touches the clock, and nothing time-derived exists before the
+//     first Stage call.
+//
+//   - Only differences of monotonic readings ever leave this file:
+//     Stage records stop−start, and a Snapshot serializes those summed
+//     durations into the timings section. Manifests therefore embed
+//     wall-clock *intervals* (documented as run-dependent), never
+//     absolute wall-clock values, and the deterministic metrics section
+//     is untouched by anything defined here.
+
+// base anchors the monotonic clock used by stage timers, captured on
+// first use.
+var base = sync.OnceValue(time.Now) //fflint:allow detrand stage timers are wall-clock by design; they feed only the run-dependent timings section, never deterministic metrics
+
+// nowNanos returns monotonic nanoseconds since the lazily-captured
+// anchor; callers only ever subtract two readings.
+func nowNanos() int64 { return int64(time.Since(base())) } //fflint:allow detrand monotonic interval read for the timings section

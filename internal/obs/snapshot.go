@@ -4,13 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
-	"time"
 )
-
-// base anchors the monotonic clock used by stage timers.
-var base = time.Now()
-
-func nowNanos() int64 { return int64(time.Since(base)) }
 
 // Bucket is one histogram bucket in a snapshot. LE is the inclusive upper
 // bound; nil means +Inf (the overflow bucket) — JSON cannot carry
