@@ -76,8 +76,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/wifi
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFeedback$$' -fuzztime $(FUZZTIME) ./internal/protocol
 	$(GO) test -run '^$$' -fuzz '^FuzzDetect$$' -fuzztime $(FUZZTIME) ./internal/ident
+	$(GO) test -run '^$$' -fuzz '^FuzzChainSegmentation$$' -fuzztime $(FUZZTIME) ./internal/pipeline
 
 # Record the perf baseline (see EXPERIMENTS.md "Performance baseline").
+# The pipeline micro-benchmarks (relay block path + SIC filter direct vs
+# FFT) additionally write machine-readable results to BENCH_pipeline.json.
 bench:
 	$(GO) test -bench . -benchtime 1x .
 	$(GO) test -bench Forward -benchtime 100000x ./internal/fft
+	$(GO) test -run '^$$' -bench 'FFRelayProcess|MIMORelayProcess|SICFilter' -benchmem -json . > BENCH_pipeline.json

@@ -219,3 +219,102 @@ func BenchmarkFig7FeedbackStability(b *testing.B) {
 	b.ReportMetric(stable, "stableOutDB")
 	b.ReportMetric(unstable, "unstableOutDB")
 }
+
+// BenchmarkSICFilter measures the 120-tap digital canceller on an
+// 8192-sample block: the direct form (bit-exact golden path) against the
+// overlap-save FFT fast path (within 1e-9, selectable per stage).
+func BenchmarkSICFilter(b *testing.B) {
+	const nTaps, nSamp = 120, 8192
+	src := rng.New(1)
+	taps := make([]complex128, nTaps)
+	for i := range taps {
+		taps[i] = src.ComplexGaussian(1.0 / nTaps)
+	}
+	tx := src.NoiseVector(nSamp, 1)
+	rx := src.NoiseVector(nSamp, 1)
+	out := make([]complex128, nSamp)
+	run := func(b *testing.B, fft bool) {
+		d := sic.NewDigitalCanceller(taps)
+		if fft {
+			d.EnableFFT()
+		}
+		b.ReportAllocs()
+		b.SetBytes(nSamp * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.ProcessInto(out, tx, rx)
+		}
+	}
+	b.Run("direct", func(b *testing.B) { run(b, false) })
+	b.Run("fft", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkFFRelayProcess measures the SISO relay's full forward chain —
+// SI feedback, cancellation, CFO removal/restoration, CNF filter, amp,
+// pipeline delay — on 4096-sample blocks with zero per-call allocation.
+func BenchmarkFFRelayProcess(b *testing.B) {
+	src := rng.New(2)
+	si := make([]complex128, 8)
+	for i := range si {
+		si[i] = src.ComplexGaussian(1e-7)
+	}
+	pre := make([]complex128, 16)
+	for i := range pre {
+		pre[i] = src.ComplexGaussian(1.0 / 16)
+	}
+	r := relay.New(relay.Config{
+		SampleRate:           20e6,
+		AmplificationDB:      20,
+		PipelineDelaySamples: 2,
+		PreFilterTaps:        pre,
+		CFOHz:                1500,
+		SIChannelTaps:        si,
+		CancelTaps:           si,
+	})
+	in := src.NoiseVector(4096, 1)
+	out := make([]complex128, len(in))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(in)) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ProcessInto(out, in)
+	}
+}
+
+// BenchmarkMIMORelayProcess measures the 2×2 relay's forward chain (2×2
+// cancellation + K×K CNF mix) on 4096-sample blocks, zero per-call
+// allocation.
+func BenchmarkMIMORelayProcess(b *testing.B) {
+	src := rng.New(3)
+	siTaps := relay.TypicalMIMOSI(src, -70)
+	pre := make([][][]complex128, 2)
+	for i := range pre {
+		pre[i] = make([][]complex128, 2)
+		for j := range pre[i] {
+			t := make([]complex128, 8)
+			for k := range t {
+				t[k] = src.ComplexGaussian(1.0 / 8)
+			}
+			pre[i][j] = t
+		}
+	}
+	r, err := relay.NewMIMO(relay.MIMOConfig{
+		SampleRate:           20e6,
+		AmplificationDB:      20,
+		PipelineDelaySamples: 2,
+		PreFilter:            pre,
+		SITaps:               siTaps,
+		CancelTaps:           siTaps,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := [][]complex128{src.NoiseVector(4096, 1), src.NoiseVector(4096, 1)}
+	out := [][]complex128{make([]complex128, 4096), make([]complex128, 4096)}
+	b.ReportAllocs()
+	b.SetBytes(2 * 4096 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ProcessInto(out, in)
+	}
+}

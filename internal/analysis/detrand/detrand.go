@@ -49,6 +49,7 @@ type Config struct {
 var defaultSweep = []string{
 	"internal/testbed", "internal/par", "internal/ident", "internal/impair",
 	"internal/sic", "internal/cnf", "internal/relay", "internal/obs",
+	"internal/pipeline",
 }
 
 var defaultWallClock = []string{"cmd/internal/runmeta"}

@@ -9,8 +9,8 @@ import (
 
 func TestDetrand(t *testing.T) {
 	a := detrand.New(detrand.Config{
-		SweepPackages: []string{"sweeptest"},
+		SweepPackages: []string{"sweeptest", "pipefixture"},
 		WallClock:     []string{"clockok"},
 	})
-	analysistest.Run(t, "testdata", a, "sweeptest", "clockok")
+	analysistest.Run(t, "testdata", a, "sweeptest", "clockok", "pipefixture")
 }

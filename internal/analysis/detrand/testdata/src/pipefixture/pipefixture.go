@@ -1,0 +1,55 @@
+// Package pipefixture models the streaming block-DSP pipeline under the
+// detrand rules: stage timing must route through the obs clock (never a
+// raw wall-clock read on the swept sample path), and per-stage results
+// keyed by name must be collected in a deterministic order.
+package pipefixture
+
+import (
+	"sort"
+	"time"
+
+	"obs"
+)
+
+type stage struct{ name string }
+
+func (s *stage) process(block []complex128) []complex128 { return block }
+
+// timedProcessWallClock times a stage with a raw wall-clock read — the
+// pattern the pipeline package must avoid on the swept path.
+func timedProcessWallClock(s *stage, block []complex128) []complex128 {
+	start := time.Now() // want `wall-clock call time.Now`
+	out := s.process(block)
+	_ = time.Since(start) // want `wall-clock call time.Since`
+	return out
+}
+
+// timedProcessViaObs routes stage timing through the obs clock, the way
+// pipeline.Chain does: monotonic nanos from the observability layer, so
+// the sample path itself never touches the wall clock.
+func timedProcessViaObs(s *stage, block []complex128) []complex128 {
+	start := obs.NowNanos()
+	out := s.process(block)
+	_ = obs.NowNanos() - start
+	return out
+}
+
+// stageLatenciesUnsorted aggregates per-stage latency accounting from a
+// map in iteration order — schedule-dependent output.
+func stageLatenciesUnsorted(byStage map[string]int) []string {
+	var order []string
+	for name := range byStage {
+		order = append(order, name) // want `append into order inside range over map`
+	}
+	return order
+}
+
+// stageLatenciesSorted is the allowed collect-then-sort form.
+func stageLatenciesSorted(byStage map[string]int) []string {
+	order := make([]string, 0, len(byStage))
+	for name := range byStage {
+		order = append(order, name) // collect-then-sort: deterministic, allowed
+	}
+	sort.Strings(order)
+	return order
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestSeedflow(t *testing.T) {
-	analysistest.Run(t, "testdata", seedflow.Default(), "seedtest")
+	analysistest.Run(t, "testdata", seedflow.Default(), "seedtest", "pipefixture")
 }

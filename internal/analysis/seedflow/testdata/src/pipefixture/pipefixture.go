@@ -1,0 +1,49 @@
+// Package pipefixture models pipeline-chain construction inside parallel
+// sweep items under the seedflow rule: each item's chain state (noise
+// stages, impairment draws) must be seeded through rng.ItemSeed so block
+// processing stays bit-identical for any worker count.
+package pipefixture
+
+import (
+	"par"
+	"rng"
+)
+
+type chain struct{ src *rng.Source }
+
+func newChain(src *rng.Source) *chain { return &chain{src: src} }
+
+func (c *chain) process(block []float64) []float64 {
+	for i := range block {
+		block[i] += c.src.Float64()
+	}
+	return block
+}
+
+// sweepChainsOK builds one chain per work item from an ItemSeed-derived
+// source — the pattern the relay/testbed sweeps use.
+func sweepChainsOK(base int64, n int) [][]float64 {
+	return par.Map(n, 0, func(i int) []float64 {
+		c := newChain(rng.New(rng.ItemSeed(base, i)))
+		return c.process(make([]float64, 8))
+	})
+}
+
+// sweepChainsRawIndex seeds a chain from the raw loop index: the stream
+// then depends on grid geometry instead of the mixed seed.
+func sweepChainsRawIndex(n int) {
+	par.ForEach(n, 0, func(i int) {
+		c := newChain(rng.New(int64(i))) // want `seed not derived from rng.ItemSeed`
+		_ = c.process(make([]float64, 8))
+	})
+}
+
+// sweepChainsSharedFork forks a shared source inside the item body:
+// schedule-dependent even though each item gets its "own" source.
+func sweepChainsSharedFork(base int64, n int) {
+	shared := rng.New(base)
+	par.ForEach(n, 0, func(i int) {
+		c := newChain(shared.Fork()) // want `Fork of a source declared outside the par work-item body`
+		_ = c.process(make([]float64, 8))
+	})
+}

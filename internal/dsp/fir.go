@@ -75,6 +75,36 @@ func (f *FIR) Reset() {
 	f.pos = 0
 }
 
+// Recent writes the most recent len(dst) inputs into dst, oldest first
+// (dst[len-1] is the last pushed sample). Positions never pushed read as
+// zero, matching the reset state. len(dst) must not exceed NumTaps.
+func (f *FIR) Recent(dst []complex128) {
+	if len(dst) > len(f.line) {
+		panic("dsp: Recent needs len(dst) <= NumTaps")
+	}
+	for j := 0; j < len(dst); j++ {
+		idx := f.pos + j
+		if idx >= len(f.line) {
+			idx -= len(f.line)
+		}
+		dst[len(dst)-1-j] = f.line[idx]
+	}
+}
+
+// LoadRecent replaces the delay line with the given input history, newest
+// last. len(src) must equal NumTaps. Block-convolution fast paths use
+// Recent/LoadRecent to keep the streaming state consistent with the
+// direct form across calls.
+func (f *FIR) LoadRecent(src []complex128) {
+	if len(src) != len(f.line) {
+		panic("dsp: LoadRecent needs len(src) == NumTaps")
+	}
+	f.pos = 0
+	for j := range f.line {
+		f.line[j] = src[len(src)-1-j]
+	}
+}
+
 // Process filters a whole block, sample by sample, preserving state across
 // calls.
 func (f *FIR) Process(x []complex128) []complex128 {

@@ -239,6 +239,15 @@ func (t *StageTimer) add(ns int64) {
 	atomic.AddUint64(&t.calls, 1)
 }
 
+// AddNS records one timed interval of ns nanoseconds. Nil-safe. Hot loops
+// that cannot afford the closure of Registry.Stage hold a *StageTimer from
+// Registry.Timer and bracket work with NowNanos themselves.
+func (t *StageTimer) AddNS(ns int64) { t.add(ns) }
+
+// NowNanos returns monotonic nanoseconds since the process's timing
+// anchor, for bracketing StageTimer.AddNS intervals.
+func NowNanos() int64 { return nowNanos() }
+
 // Registry owns the metric namespace of one run. The zero value is not
 // usable; construct with New. A nil *Registry is the disabled state: all
 // lookups return nil handles whose methods are no-ops.
@@ -306,6 +315,23 @@ func (r *Registry) Histogram(name, unit string, bounds []float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Timer returns (creating on first use) the named stage timer handle.
+// Nil-safe: returns nil on a disabled registry, and all *StageTimer
+// methods are nil-safe, so callers can cache the handle unconditionally.
+func (r *Registry) Timer(name string) *StageTimer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &StageTimer{name: name}
+		r.timers[name] = t
+	}
+	return t
 }
 
 // Stage starts (or resumes) the named stage timer and returns a stop

@@ -1,0 +1,319 @@
+package pipeline
+
+import (
+	"fastforward/internal/dsp"
+	"fastforward/internal/obs"
+)
+
+// MIMOStage is the K-stream counterpart of Stage: ProcessM transforms one
+// block per stream (equal lengths), in place, preserving streaming state
+// across calls. The 2×2 relay of Fig 8 composes these.
+type MIMOStage interface {
+	Name() string
+	ProcessM(blocks [][]complex128) [][]complex128
+	Reset()
+	LatencySamples() int
+}
+
+// MIMOChain composes MIMOStages, mirroring Chain: latencies add, blocks
+// flow through in order, and instrumentation emits the same pipeline.*
+// metrics and per-stage timers.
+type MIMOChain struct {
+	name   string
+	stages []MIMOStage
+	o      *Obs
+	shard  int
+	timers []*obs.StageTimer
+}
+
+// NewMIMOChain builds a chain over the given stages.
+func NewMIMOChain(name string, stages ...MIMOStage) *MIMOChain {
+	return &MIMOChain{name: name, stages: stages}
+}
+
+// Name returns the chain name.
+func (c *MIMOChain) Name() string { return c.name }
+
+// Stages returns the chain's stages (shared, not a copy).
+func (c *MIMOChain) Stages() []MIMOStage { return c.stages }
+
+// LatencySamples sums the stages' latencies.
+func (c *MIMOChain) LatencySamples() int {
+	total := 0
+	for _, st := range c.stages {
+		total += st.LatencySamples()
+	}
+	return total
+}
+
+// Instrument attaches pipeline metrics and per-stage timers; see
+// Chain.Instrument.
+func (c *MIMOChain) Instrument(o *Obs, shard int) {
+	c.o = o
+	c.shard = shard
+	c.timers = nil
+	if o == nil || o.reg == nil {
+		return
+	}
+	c.timers = make([]*obs.StageTimer, len(c.stages))
+	for i, st := range c.stages {
+		c.timers[i] = o.reg.Timer("pipeline." + c.name + "." + st.Name())
+	}
+}
+
+// ProcessM runs the per-stream blocks through every stage in order.
+func (c *MIMOChain) ProcessM(blocks [][]complex128) [][]complex128 {
+	if c.o != nil {
+		c.o.Blocks.Inc(c.shard)
+		n := 0
+		for _, b := range blocks {
+			n += len(b)
+		}
+		c.o.Samples.Add(c.shard, uint64(n))
+	}
+	if c.timers != nil {
+		for i, st := range c.stages {
+			start := obs.NowNanos()
+			blocks = st.ProcessM(blocks)
+			c.timers[i].AddNS(obs.NowNanos() - start)
+		}
+		return blocks
+	}
+	for _, st := range c.stages {
+		blocks = st.ProcessM(blocks)
+	}
+	return blocks
+}
+
+// Reset clears every stage's streaming state.
+func (c *MIMOChain) Reset() {
+	for _, st := range c.stages {
+		st.Reset()
+	}
+}
+
+// CheckBudget records the chain latency against a sample budget; see
+// Chain.CheckBudget.
+func (c *MIMOChain) CheckBudget(budgetSamples int) bool {
+	lat := c.LatencySamples()
+	if c.o != nil {
+		c.o.Latency.Observe(c.shard, float64(lat))
+		if lat > budgetSamples {
+			c.o.Violations.Inc(c.shard)
+		}
+	}
+	return lat <= budgetSamples
+}
+
+// mimoBank builds the K×K FIR bank firs[out][in] from a tap matrix.
+// Missing entries are zero filters; identity puts a unit impulse on the
+// diagonal (identity forwarding).
+func mimoBank(k int, taps [][][]complex128, identity bool) [][]*dsp.FIR {
+	firs := make([][]*dsp.FIR, k)
+	for i := 0; i < k; i++ {
+		firs[i] = make([]*dsp.FIR, k)
+		for j := 0; j < k; j++ {
+			var t []complex128
+			if taps != nil && i < len(taps) && j < len(taps[i]) && len(taps[i][j]) > 0 {
+				t = taps[i][j]
+			} else if identity && i == j {
+				t = []complex128{1}
+			} else {
+				t = []complex128{0}
+			}
+			firs[i][j] = dsp.NewFIR(t)
+		}
+	}
+	return firs
+}
+
+// MIMOMixStage is the K×K FIR mixing stage: out[i] = Σ_j fir[i][j](in[j])
+// — the CNF pre-filter block of the 2×2 relay. Accumulation runs j
+// ascending per output, matching the per-sample loop it replaced
+// bit-exactly.
+type MIMOMixStage struct {
+	name string
+	firs [][]*dsp.FIR
+	xs   []complex128
+	acc  []complex128
+}
+
+// NewMIMOMixStage builds a K-stream mixer from taps[out][in] (nil inner
+// entries are zero; a nil matrix with identity=true forwards each stream
+// unchanged).
+func NewMIMOMixStage(name string, k int, taps [][][]complex128, identity bool) *MIMOMixStage {
+	return &MIMOMixStage{
+		name: name,
+		firs: mimoBank(k, taps, identity),
+		xs:   make([]complex128, k),
+		acc:  make([]complex128, k),
+	}
+}
+
+// Name returns the stage name.
+func (s *MIMOMixStage) Name() string { return s.name }
+
+// LatencySamples is 0: every pair filter is causal.
+func (s *MIMOMixStage) LatencySamples() int { return 0 }
+
+// ProcessM mixes the blocks in place.
+func (s *MIMOMixStage) ProcessM(blocks [][]complex128) [][]complex128 {
+	k := len(s.firs)
+	n := len(blocks[0])
+	for t := 0; t < n; t++ {
+		for j := 0; j < k; j++ {
+			s.xs[j] = blocks[j][t]
+		}
+		for i := 0; i < k; i++ {
+			var acc complex128
+			for j := 0; j < k; j++ {
+				acc += s.firs[i][j].Push(s.xs[j])
+			}
+			s.acc[i] = acc
+		}
+		for i := 0; i < k; i++ {
+			blocks[i][t] = s.acc[i]
+		}
+	}
+	return blocks
+}
+
+// Reset clears every pair filter.
+func (s *MIMOMixStage) Reset() {
+	for i := range s.firs {
+		for j := range s.firs[i] {
+			s.firs[i][j].Reset()
+		}
+	}
+}
+
+// MIMOCancelStage is the 2×2 causal digital cancellation block: each
+// receive stream subtracts every transmit stream's estimated leakage,
+// out[i] = in[i] − Σ_j fir[i][j](ref[j]), with the subtractions running j
+// ascending as in the per-sample loop it replaced. The reference streams
+// (the transmitted samples) are consumed incrementally like
+// CancelStage's.
+type MIMOCancelStage struct {
+	name string
+	firs [][]*dsp.FIR
+	ref  [][]complex128
+	rs   []complex128
+}
+
+// NewMIMOCancelStage builds the canceller from taps[rx][tx].
+func NewMIMOCancelStage(name string, k int, taps [][][]complex128) *MIMOCancelStage {
+	return &MIMOCancelStage{
+		name: name,
+		firs: mimoBank(k, taps, false),
+		rs:   make([]complex128, k),
+	}
+}
+
+// Name returns the stage name.
+func (s *MIMOCancelStage) Name() string { return s.name }
+
+// LatencySamples is 0.
+func (s *MIMOCancelStage) LatencySamples() int { return 0 }
+
+// SetReference supplies the per-stream transmitted samples the following
+// ProcessM calls cancel against. Slice headers are copied; the sample
+// data is consumed in place.
+func (s *MIMOCancelStage) SetReference(ref [][]complex128) {
+	if cap(s.ref) < len(ref) {
+		s.ref = make([][]complex128, len(ref))
+	}
+	s.ref = s.ref[:len(ref)]
+	copy(s.ref, ref)
+}
+
+// ProcessM cancels the blocks in place, consuming reference samples.
+func (s *MIMOCancelStage) ProcessM(blocks [][]complex128) [][]complex128 {
+	k := len(s.firs)
+	n := len(blocks[0])
+	for j := 0; j < k; j++ {
+		if len(s.ref[j]) < n {
+			panic("pipeline: MIMOCancelStage reference shorter than block")
+		}
+	}
+	for t := 0; t < n; t++ {
+		for j := 0; j < k; j++ {
+			s.rs[j] = s.ref[j][t]
+		}
+		for i := 0; i < k; i++ {
+			v := blocks[i][t]
+			for j := 0; j < k; j++ {
+				v -= s.firs[i][j].Push(s.rs[j])
+			}
+			blocks[i][t] = v
+		}
+	}
+	for j := 0; j < k; j++ {
+		s.ref[j] = s.ref[j][n:]
+	}
+	return blocks
+}
+
+// Reset clears the pair filters and drops any unconsumed reference.
+func (s *MIMOCancelStage) Reset() {
+	for i := range s.firs {
+		for j := range s.firs[i] {
+			s.firs[i][j].Reset()
+		}
+	}
+	s.ref = nil
+}
+
+// MIMOEachStage applies one scalar Stage per stream — per-antenna gain,
+// delay, or impairment wrapping. All per-stream stages must declare the
+// same latency (streams must stay aligned).
+type MIMOEachStage struct {
+	name   string
+	stages []Stage
+}
+
+// NewMIMOEachStage wraps stages[i] around stream i.
+func NewMIMOEachStage(name string, stages ...Stage) *MIMOEachStage {
+	for _, st := range stages[1:] {
+		if st.LatencySamples() != stages[0].LatencySamples() {
+			panic("pipeline: MIMOEachStage streams must have equal latency")
+		}
+	}
+	return &MIMOEachStage{name: name, stages: stages}
+}
+
+// Name returns the stage name.
+func (s *MIMOEachStage) Name() string { return s.name }
+
+// LatencySamples returns the shared per-stream latency.
+func (s *MIMOEachStage) LatencySamples() int { return s.stages[0].LatencySamples() }
+
+// ProcessM applies each stream's stage in place.
+func (s *MIMOEachStage) ProcessM(blocks [][]complex128) [][]complex128 {
+	for i := range s.stages {
+		blocks[i] = s.stages[i].Process(blocks[i])
+	}
+	return blocks
+}
+
+// Reset clears every per-stream stage.
+func (s *MIMOEachStage) Reset() {
+	for _, st := range s.stages {
+		st.Reset()
+	}
+}
+
+// mimoMarker mirrors markerStage for MIMO chains.
+type mimoMarker struct {
+	name string
+	lat  int
+}
+
+// NewMIMOLatencyMarker declares out-of-chain latency in a MIMO chain.
+func NewMIMOLatencyMarker(name string, samples int) MIMOStage {
+	return &mimoMarker{name: name, lat: samples}
+}
+
+func (s *mimoMarker) Name() string                                  { return s.name }
+func (s *mimoMarker) LatencySamples() int                           { return s.lat }
+func (s *mimoMarker) ProcessM(blocks [][]complex128) [][]complex128 { return blocks }
+func (s *mimoMarker) Reset()                                        {}

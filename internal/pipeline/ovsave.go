@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"fastforward/internal/dsp"
+	"fastforward/internal/fft"
+)
+
+// minFFTTaps is the filter length below which the overlap-save path is
+// never worth arming: the per-segment FFT overhead (~2·N·log2 N complex
+// ops for N−T+1 outputs) only beats the direct form's T ops/sample for
+// filters in the tens of taps — the paper's 120-tap digital canceller is
+// the target; the handful-of-taps CNF pre-filters are not.
+const minFFTTaps = 16
+
+// ovSave is the overlap-save FFT convolution engine behind FIRStage's
+// fast path. It owns no streaming state of its own: each filter call
+// reads the direct-form delay line for the T−1 samples of input history
+// and writes the new tail back, so direct and FFT processing interleave
+// freely and a Reset of the FIR resets both paths.
+//
+// Numerics: the FFT path computes the same convolution sums as the direct
+// form but in a different association order, so outputs agree to floating
+// round-off (≤1e-9 for unit-scale signals, enforced by test), not bit
+// exactly — which is why it is opt-in and never the default on
+// golden-pinned paths (DESIGN.md §8).
+type ovSave struct {
+	taps []complex128
+	// n is the FFT length; m = n − len(taps) + 1 useful outputs per
+	// segment.
+	n, m int
+	// h is the length-n DFT of the zero-padded taps (cached plans inside
+	// internal/fft make repeated length-n transforms cheap).
+	h []complex128
+	// seg is the per-segment scratch; ext holds history + block.
+	seg []complex128
+	ext []complex128
+	// minBlock gates the fast path: shorter blocks stay on the direct
+	// form, whose per-sample cost is already low at those sizes.
+	minBlock int
+}
+
+func newOvSave(taps []complex128) *ovSave {
+	t := len(taps)
+	n := 1
+	for n < 4*t {
+		n <<= 1
+	}
+	if n < 256 {
+		n = 256
+	}
+	padded := make([]complex128, n)
+	copy(padded, taps)
+	o := &ovSave{
+		taps:     append([]complex128(nil), taps...),
+		n:        n,
+		m:        n - t + 1,
+		h:        fft.Forward(padded),
+		seg:      make([]complex128, n),
+		minBlock: t,
+	}
+	return o
+}
+
+// filter convolves block with the taps by overlap-save, reading the T−1
+// samples of input history from f's delay line and refreshing it with the
+// block's tail afterwards.
+func (o *ovSave) filter(f *dsp.FIR, block []complex128) {
+	t := len(o.taps)
+	l := len(block)
+	need := t - 1 + l
+	if cap(o.ext) < need {
+		o.ext = make([]complex128, need)
+	}
+	ext := o.ext[:need]
+	f.Recent(ext[:t-1])
+	copy(ext[t-1:], block)
+
+	for start := 0; start < l; start += o.m {
+		m := o.m
+		if start+m > l {
+			m = l - start
+		}
+		chunk := ext[start : start+t-1+m]
+		copy(o.seg, chunk)
+		for i := len(chunk); i < o.n; i++ {
+			o.seg[i] = 0
+		}
+		fft.ForwardInPlace(o.seg)
+		for i := range o.seg {
+			o.seg[i] *= o.h[i]
+		}
+		fft.InverseInPlace(o.seg)
+		// The first t−1 outputs of each segment are circular-convolution
+		// aliases; the rest are exact linear-convolution samples.
+		copy(block[start:start+m], o.seg[t-1:t-1+m])
+	}
+	f.LoadRecent(ext[need-t:])
+}

@@ -1,0 +1,368 @@
+package pipeline
+
+import (
+	"math/cmplx"
+
+	"fastforward/internal/dsp"
+	"fastforward/internal/obs"
+)
+
+// FIRStage is a causal streaming FIR filter stage (zero buffering delay:
+// tap 0 applies to the current sample, as the paper's digital canceller
+// requires, Fig 9a). The default path is the direct form — bit-identical
+// to dsp.FIR.Push — and EnableFFT switches block processing onto an
+// overlap-save FFT convolution that shares the same delay-line state, so
+// the two paths mix freely across calls.
+type FIRStage struct {
+	name      string
+	fir       *dsp.FIR
+	ov        *ovSave
+	fftBlocks *obs.Counter
+	shard     int
+}
+
+// NewFIRStage builds a FIR stage with the given taps (copied).
+func NewFIRStage(name string, taps []complex128) *FIRStage {
+	return &FIRStage{name: name, fir: dsp.NewFIR(taps)}
+}
+
+// Name returns the stage name.
+func (s *FIRStage) Name() string { return s.name }
+
+// LatencySamples is 0: the filter is causal with an immediate tap 0.
+func (s *FIRStage) LatencySamples() int { return 0 }
+
+// NumTaps returns the filter length.
+func (s *FIRStage) NumTaps() int { return s.fir.NumTaps() }
+
+// Taps returns a copy of the filter taps.
+func (s *FIRStage) Taps() []complex128 { return s.fir.Taps() }
+
+// EnableFFT switches block processing onto the overlap-save fast path.
+// Blocks shorter than the filter (and all Push calls) keep the direct
+// form. No-op for filters too short to gain from it.
+func (s *FIRStage) EnableFFT() {
+	if s.ov == nil && s.fir.NumTaps() >= minFFTTaps {
+		s.ov = newOvSave(s.fir.Taps())
+	}
+}
+
+// FFTEnabled reports whether the fast path is armed.
+func (s *FIRStage) FFTEnabled() bool { return s.ov != nil }
+
+func (s *FIRStage) setFFTObs(c *obs.Counter, shard int) {
+	s.fftBlocks = c
+	s.shard = shard
+}
+
+// Push filters one sample through the direct form.
+func (s *FIRStage) Push(x complex128) complex128 { return s.fir.Push(x) }
+
+// Process filters the block in place.
+func (s *FIRStage) Process(block []complex128) []complex128 {
+	if s.ov != nil && len(block) >= s.ov.minBlock {
+		s.ov.filter(s.fir, block)
+		if s.fftBlocks != nil {
+			s.fftBlocks.Inc(s.shard)
+		}
+		return block
+	}
+	for i, v := range block {
+		block[i] = s.fir.Push(v)
+	}
+	return block
+}
+
+// Reset clears the delay line.
+func (s *FIRStage) Reset() { s.fir.Reset() }
+
+// CancelStage subtracts a FIR-filtered reference from the block:
+// out[n] = in[n] − Σ_k h[k]·ref[n−k]. This is the causal digital
+// self-interference canceller as a stage: the block is the received
+// signal, the reference is the known transmitted signal. SetReference
+// must supply at least as many reference samples as the blocks that
+// follow consume; segmented processing consumes the reference
+// incrementally, so one SetReference call covers any block split.
+type CancelStage struct {
+	name string
+	fir  *FIRStage
+	ref  []complex128
+	est  []complex128
+}
+
+// NewCancelStage builds the canceller from estimated leakage taps.
+func NewCancelStage(name string, taps []complex128) *CancelStage {
+	return &CancelStage{name: name, fir: NewFIRStage(name+"_fir", taps)}
+}
+
+// Name returns the stage name.
+func (s *CancelStage) Name() string { return s.name }
+
+// LatencySamples is 0: cancellation buffers no received samples.
+func (s *CancelStage) LatencySamples() int { return 0 }
+
+// NumTaps returns the canceller length.
+func (s *CancelStage) NumTaps() int { return s.fir.NumTaps() }
+
+// EnableFFT arms the overlap-save fast path of the underlying filter.
+func (s *CancelStage) EnableFFT() { s.fir.EnableFFT() }
+
+// FFTEnabled reports whether the fast path is armed.
+func (s *CancelStage) FFTEnabled() bool { return s.fir.FFTEnabled() }
+
+func (s *CancelStage) setFFTObs(c *obs.Counter, shard int) { s.fir.setFFTObs(c, shard) }
+
+// SetReference supplies the transmitted samples the following Process
+// calls cancel against. The slice is consumed, not copied: keep it alive
+// until processed.
+func (s *CancelStage) SetReference(tx []complex128) { s.ref = tx }
+
+// PushPair cancels one sample: rx minus the filtered tx reference.
+func (s *CancelStage) PushPair(tx, rx complex128) complex128 {
+	return rx - s.fir.Push(tx)
+}
+
+// Process cancels the block in place, consuming len(block) reference
+// samples.
+func (s *CancelStage) Process(block []complex128) []complex128 {
+	if len(s.ref) < len(block) {
+		panic("pipeline: CancelStage reference shorter than block")
+	}
+	ref := s.ref[:len(block)]
+	s.ref = s.ref[len(block):]
+	if cap(s.est) < len(block) {
+		s.est = make([]complex128, len(block))
+	}
+	est := s.est[:len(block)]
+	copy(est, ref)
+	s.fir.Process(est)
+	for i := range block {
+		block[i] -= est[i]
+	}
+	return block
+}
+
+// Reset clears filter state and drops any unconsumed reference.
+func (s *CancelStage) Reset() {
+	s.fir.Reset()
+	s.ref = nil
+}
+
+// CFOStage rotates the block by a per-sample phase ramp: y[n] = x[n] ·
+// exp(j·n·step), with the phase accumulating across calls. A negative
+// step removes a carrier-frequency offset; the positive step restores it
+// (Sec 4.1). Accumulating the signed step reproduces the relay's shared
+// phase accumulator bit-exactly (IEEE negation distributes over addition).
+type CFOStage struct {
+	name  string
+	step  float64
+	phase float64
+}
+
+// NewCFOStage builds a rotator advancing by stepRad per sample.
+func NewCFOStage(name string, stepRad float64) *CFOStage {
+	return &CFOStage{name: name, step: stepRad}
+}
+
+// Name returns the stage name.
+func (s *CFOStage) Name() string { return s.name }
+
+// LatencySamples is 0.
+func (s *CFOStage) LatencySamples() int { return 0 }
+
+// Process rotates the block in place.
+func (s *CFOStage) Process(block []complex128) []complex128 {
+	for i := range block {
+		block[i] *= cmplx.Exp(complex(0, s.phase))
+		s.phase += s.step
+	}
+	return block
+}
+
+// Reset rewinds the phase accumulator.
+func (s *CFOStage) Reset() { s.phase = 0 }
+
+// GainStage multiplies every sample by a fixed complex gain.
+type GainStage struct {
+	name string
+	g    complex128
+}
+
+// NewGainStage builds an amplification stage.
+func NewGainStage(name string, g complex128) *GainStage {
+	return &GainStage{name: name, g: g}
+}
+
+// Name returns the stage name.
+func (s *GainStage) Name() string { return s.name }
+
+// LatencySamples is 0.
+func (s *GainStage) LatencySamples() int { return 0 }
+
+// Process scales the block in place.
+func (s *GainStage) Process(block []complex128) []complex128 {
+	for i := range block {
+		block[i] *= s.g
+	}
+	return block
+}
+
+// Reset is a no-op (gain is configuration, not state).
+func (s *GainStage) Reset() {}
+
+// DelayStage delays the stream by a fixed number of samples — the
+// explicit pipeline latency (ADC/DAC, buffering) the latency experiment
+// sweeps.
+type DelayStage struct {
+	name string
+	dl   *dsp.DelayLine
+}
+
+// NewDelayStage builds a d-sample delay (d ≥ 0).
+func NewDelayStage(name string, d int) *DelayStage {
+	return &DelayStage{name: name, dl: dsp.NewDelayLine(d)}
+}
+
+// Name returns the stage name.
+func (s *DelayStage) Name() string { return s.name }
+
+// LatencySamples returns the configured delay.
+func (s *DelayStage) LatencySamples() int { return s.dl.Delay() }
+
+// Process delays the block in place.
+func (s *DelayStage) Process(block []complex128) []complex128 {
+	for i, v := range block {
+		block[i] = s.dl.Push(v)
+	}
+	return block
+}
+
+// Reset clears the delay buffer.
+func (s *DelayStage) Reset() { s.dl.Reset() }
+
+// Pusher is any per-sample processor with streaming state — notably
+// impair.Stream, whose hardware-impairment profiles become chain stages
+// through PusherStage without pipeline depending on the impair package.
+type Pusher interface {
+	Push(complex128) complex128
+	Reset()
+}
+
+// PusherStage adapts a Pusher into a Stage.
+type PusherStage struct {
+	name string
+	lat  int
+	p    Pusher
+}
+
+// NewPusherStage wraps p, declaring its buffering latency (0 for
+// memoryless impairment chains).
+func NewPusherStage(name string, latencySamples int, p Pusher) *PusherStage {
+	return &PusherStage{name: name, lat: latencySamples, p: p}
+}
+
+// Name returns the stage name.
+func (s *PusherStage) Name() string { return s.name }
+
+// LatencySamples returns the declared latency.
+func (s *PusherStage) LatencySamples() int { return s.lat }
+
+// Process pushes the block through in place.
+func (s *PusherStage) Process(block []complex128) []complex128 {
+	for i, v := range block {
+		block[i] = s.p.Push(v)
+	}
+	return block
+}
+
+// Reset resets the wrapped processor.
+func (s *PusherStage) Reset() { s.p.Reset() }
+
+// markerStage declares latency that is realized outside the chain's
+// Process — e.g. the relay's pending-sample handoff register, which adds
+// one sample of delay structurally in the feedback loop. Process is the
+// identity; only the latency accounting sees it.
+type markerStage struct {
+	name string
+	lat  int
+}
+
+// NewLatencyMarker builds a pass-through stage carrying latency
+// accounting for delay realized outside the chain.
+func NewLatencyMarker(name string, samples int) Stage {
+	return &markerStage{name: name, lat: samples}
+}
+
+func (s *markerStage) Name() string                          { return s.name }
+func (s *markerStage) LatencySamples() int                   { return s.lat }
+func (s *markerStage) Process(block []complex128) []complex128 { return block }
+func (s *markerStage) Reset()                                {}
+
+// VecMulStage multiplies the stream element-wise against a fixed vector,
+// advancing a cursor across calls: sample n of the stream is scaled by
+// v[n]. This is the frequency-domain analogue of a filter stage — the
+// testbed's per-carrier channel and CNF responses compose into declared
+// chains with it. Processing more samples than len(v) panics.
+type VecMulStage struct {
+	name string
+	v    []complex128
+	pos  int
+}
+
+// NewVecMulStage builds the stage over v (not copied).
+func NewVecMulStage(name string, v []complex128) *VecMulStage {
+	return &VecMulStage{name: name, v: v}
+}
+
+// Name returns the stage name.
+func (s *VecMulStage) Name() string { return s.name }
+
+// LatencySamples is 0.
+func (s *VecMulStage) LatencySamples() int { return 0 }
+
+// Process scales the block in place against the next len(block) vector
+// entries.
+func (s *VecMulStage) Process(block []complex128) []complex128 {
+	if s.pos+len(block) > len(s.v) {
+		panic("pipeline: VecMulStage consumed past its vector")
+	}
+	for i := range block {
+		block[i] *= s.v[s.pos]
+		s.pos++
+	}
+	return block
+}
+
+// Reset rewinds the cursor.
+func (s *VecMulStage) Reset() { s.pos = 0 }
+
+// TapStage records the stream flowing through it (pass-through), exposing
+// intermediate chain products — e.g. the relay-filter output whose power
+// sets the forwarded-noise gain in the testbed.
+type TapStage struct {
+	name string
+	buf  []complex128
+}
+
+// NewTapStage builds an empty tap.
+func NewTapStage(name string) *TapStage {
+	return &TapStage{name: name}
+}
+
+// Name returns the stage name.
+func (s *TapStage) Name() string { return s.name }
+
+// LatencySamples is 0.
+func (s *TapStage) LatencySamples() int { return 0 }
+
+// Process records and passes the block through unchanged.
+func (s *TapStage) Process(block []complex128) []complex128 {
+	s.buf = append(s.buf, block...)
+	return block
+}
+
+// Samples returns everything recorded since the last Reset.
+func (s *TapStage) Samples() []complex128 { return s.buf }
+
+// Reset drops the recording.
+func (s *TapStage) Reset() { s.buf = s.buf[:0] }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fastforward/internal/dsp"
+	"fastforward/internal/pipeline"
 	"fastforward/internal/rng"
 )
 
@@ -36,15 +37,24 @@ type MIMOConfig struct {
 	NoiseSource *rng.Source
 }
 
-// MIMORelay is a streaming 2×2 full-duplex relay.
+// MIMORelay is a streaming 2×2 full-duplex relay. Like FFRelay, the
+// forward path is a declared pipeline chain — 2×2 SI-cancel → K×K CNF
+// mix → per-stream amp → per-stream pipeline delay — driven one sample
+// per Step through the physical feedback loop.
 type MIMORelay struct {
-	cfg     MIMOConfig
+	cfg MIMOConfig
+	// si is the physical TX→RX leakage matrix (outside the device).
 	si      [2][2]*dsp.FIR
-	cancel  [2][2]*dsp.FIR
-	pre     [2][2]*dsp.FIR
-	pipe    [2]*dsp.DelayLine
+	cancel  *pipeline.MIMOCancelStage
+	fwd     *pipeline.MIMOChain
 	pending [2]complex128
 	ampLin  float64
+	// refArr/inArr back the persistent 1-sample-per-stream views the chain
+	// is driven with (no per-Step allocation).
+	refArr  [2][1]complex128
+	inArr   [2][1]complex128
+	refView [2][]complex128
+	inView  [2][]complex128
 }
 
 // NewMIMO builds the 2×2 relay. Tap matrices may be nil (zero SI /
@@ -72,23 +82,46 @@ func NewMIMO(cfg MIMOConfig) (*MIMORelay, error) {
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {
 			r.si[i][j] = dsp.NewFIR(taps(cfg.SITaps, i, j, false))
-			r.cancel[i][j] = dsp.NewFIR(taps(cfg.CancelTaps, i, j, false))
-			r.pre[i][j] = dsp.NewFIR(taps(cfg.PreFilter, i, j, true))
 		}
-		r.pipe[i] = dsp.NewDelayLine(cfg.PipelineDelaySamples - 1)
+		r.refView[i] = r.refArr[i][:]
+		r.inView[i] = r.inArr[i][:]
 	}
+	g := complex(r.ampLin, 0)
+	r.cancel = pipeline.NewMIMOCancelStage("si_cancel", 2, cfg.CancelTaps)
+	r.fwd = pipeline.NewMIMOChain("relay.mimo_fwd",
+		r.cancel,
+		pipeline.NewMIMOMixStage("cnf_pre", 2, cfg.PreFilter, true),
+		pipeline.NewMIMOEachStage("amp",
+			pipeline.NewGainStage("amp0", g),
+			pipeline.NewGainStage("amp1", g)),
+		// The pending-sample handoff contributes one sample of delay per
+		// stream; the delay lines hold the remainder.
+		pipeline.NewMIMOEachStage("pipe",
+			pipeline.NewDelayStage("pipe0", cfg.PipelineDelaySamples-1),
+			pipeline.NewDelayStage("pipe1", cfg.PipelineDelaySamples-1)),
+		pipeline.NewMIMOLatencyMarker("handoff", 1),
+	)
 	return r, nil
 }
 
+// Chain returns the relay's forward signal path for inspection or
+// instrumentation.
+func (r *MIMORelay) Chain() *pipeline.MIMOChain { return r.fwd }
+
+// LatencySamples returns the chain-accounted pipeline latency in samples.
+func (r *MIMORelay) LatencySamples() int { return r.fwd.LatencySamples() }
+
+// Instrument attaches pipeline.* metrics and per-stage timers to the
+// relay's chain on the given shard.
+func (r *MIMORelay) Instrument(o *pipeline.Obs, shard int) { r.fwd.Instrument(o, shard) }
+
 // Step advances one sample: incoming holds the over-the-air signal at each
 // receive antenna (without self-interference); the return value is what
-// each transmit antenna radiates this instant.
+// each transmit antenna radiates this instant. The chain is driven one
+// sample per Step because the SI feedback loop closes every sample.
 func (r *MIMORelay) Step(incoming [2]complex128) [2]complex128 {
-	// Transmit the samples leaving the pipelines.
-	var tx [2]complex128
-	for i := 0; i < 2; i++ {
-		tx[i] = r.pipe[i].Push(r.pending[i])
-	}
+	// Transmit the samples the handoff registers release this instant.
+	tx := r.pending
 	// Physical reception with the full SI matrix + noise.
 	var rx [2]complex128
 	for i := 0; i < 2; i++ {
@@ -100,22 +133,16 @@ func (r *MIMORelay) Step(incoming [2]complex128) [2]complex128 {
 			rx[i] += r.cfg.NoiseSource.ComplexGaussian(r.cfg.RxNoiseMW)
 		}
 	}
-	// 2×2 causal digital cancellation: subtract each TX's estimated leak.
-	var clean [2]complex128
+	// The forward chain: 2×2 cancellation against this instant's tx, K×K
+	// CNF mix, amplification, pipeline delay.
 	for i := 0; i < 2; i++ {
-		clean[i] = rx[i]
-		for j := 0; j < 2; j++ {
-			clean[i] -= r.cancel[i][j].Push(tx[j])
-		}
+		r.refArr[i][0] = tx[i]
+		r.inArr[i][0] = rx[i]
 	}
-	// K×K CNF pre-filter, amplification, enqueue.
-	for i := 0; i < 2; i++ {
-		var acc complex128
-		for j := 0; j < 2; j++ {
-			acc += r.pre[i][j].Push(clean[j])
-		}
-		r.pending[i] = acc * complex(r.ampLin, 0)
-	}
+	r.cancel.SetReference(r.refView[:])
+	out := r.fwd.ProcessM(r.inView[:])
+	r.pending[0] = out[0][0]
+	r.pending[1] = out[1][0]
 	return tx
 }
 
@@ -124,14 +151,29 @@ func (r *MIMORelay) Process(incoming [][]complex128) [][]complex128 {
 	if len(incoming) != 2 || len(incoming[0]) != len(incoming[1]) {
 		panic("relay: MIMORelay needs 2 equal-length streams")
 	}
+	out := [][]complex128{
+		make([]complex128, len(incoming[0])),
+		make([]complex128, len(incoming[0])),
+	}
+	r.ProcessInto(out, incoming)
+	return out
+}
+
+// ProcessInto runs a block of per-antenna samples into caller-owned
+// buffers (no per-call allocation). out and incoming may alias.
+func (r *MIMORelay) ProcessInto(out, incoming [][]complex128) {
+	if len(incoming) != 2 || len(incoming[0]) != len(incoming[1]) {
+		panic("relay: MIMORelay needs 2 equal-length streams")
+	}
+	if len(out) != 2 || len(out[0]) != len(incoming[0]) || len(out[1]) != len(incoming[0]) {
+		panic("relay: ProcessInto length mismatch")
+	}
 	n := len(incoming[0])
-	out := [][]complex128{make([]complex128, n), make([]complex128, n)}
 	for k := 0; k < n; k++ {
 		tx := r.Step([2]complex128{incoming[0][k], incoming[1][k]})
 		out[0][k] = tx[0]
 		out[1][k] = tx[1]
 	}
-	return out
 }
 
 // Reset clears all state.
@@ -139,12 +181,10 @@ func (r *MIMORelay) Reset() {
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {
 			r.si[i][j].Reset()
-			r.cancel[i][j].Reset()
-			r.pre[i][j].Reset()
 		}
-		r.pipe[i].Reset()
 		r.pending[i] = 0
 	}
+	r.fwd.Reset()
 }
 
 // TypicalMIMOSI synthesizes a residual 2×2 SI tap set: stronger same-

@@ -19,10 +19,10 @@ package relay
 
 import (
 	"math"
-	"math/cmplx"
 
 	"fastforward/internal/dsp"
 	"fastforward/internal/impair"
+	"fastforward/internal/pipeline"
 	"fastforward/internal/rng"
 	"fastforward/internal/sic"
 )
@@ -75,25 +75,33 @@ type Config struct {
 	ImpairRefRMS float64
 }
 
-// FFRelay is a streaming full-duplex relay.
+// FFRelay is a streaming full-duplex relay. Internally the forward path
+// is a pipeline.Chain — SI-cancel → CFO remove → CNF filter → CFO restore
+// → amp → pipeline delay — driven one sample per Step through the
+// physical feedback loop; the same chain shape carries the per-stage
+// latency accounting behind the ≤100 ns processing-delay claim.
 type FFRelay struct {
-	cfg       Config
+	cfg Config
+	// si is the physical TX→RX leakage channel (outside the device).
 	si        *dsp.FIR
 	canceller *sic.DigitalCanceller
-	pre       *dsp.FIR
-	pipe      *dsp.DelayLine
-	ampLin    float64 // amplitude gain
-	phase     float64 // CFO phase accumulator
-	phaseStep float64
-	// pending is the sample entering the transmit pipeline this instant
-	// (filtered, amplified, CFO-restored).
+	cancel    *pipeline.CancelStage
+	// fwd is the device's forward signal path as a declared chain.
+	fwd *pipeline.Chain
+	// tx is the transmit-side impairment chain (nil when ideal).
+	tx     *pipeline.Chain
+	ampLin float64 // amplitude gain
+	// pending is the chain's output from the previous Step: the sample the
+	// handoff register releases to the antenna next instant.
 	pending complex128
 	// lastInjected holds the most recent injected-noise sample, exposed for
 	// tuning procedures that correlate against the known probe.
 	lastInjected complex128
-	// rxImp/txImp are the hardware impairment chains (nil when ideal).
-	rxImp *impair.Stream
-	txImp *impair.Stream
+	// refBuf/rxBuf/txBuf are 1-sample scratch blocks for the per-sample
+	// drive of the block chain (no per-Step allocation).
+	refBuf [1]complex128
+	rxBuf  [1]complex128
+	txBuf  [1]complex128
 }
 
 // New builds the relay. It panics on nonsensical configurations (zero
@@ -132,29 +140,75 @@ func New(cfg Config) *FFRelay {
 		rxImp = impair.NewRxStream(cfg.Impair, cfg.ImpairSource, cfg.SampleRate, ref)
 		txImp = impair.NewTxStream(cfg.Impair, ref)
 	}
-	return &FFRelay{
+	canceller := sic.NewDigitalCanceller(canc)
+	r := &FFRelay{
 		cfg:       cfg,
 		si:        dsp.NewFIR(si),
-		canceller: sic.NewDigitalCanceller(canc),
-		pre:       dsp.NewFIR(pre),
-		// The pending-sample handoff contributes one sample of delay, so
-		// the delay line holds the remainder.
-		pipe:      dsp.NewDelayLine(cfg.PipelineDelaySamples - 1),
+		canceller: canceller,
+		cancel:    canceller.Stage(),
 		ampLin:    dsp.AmplitudeFromDB(cfg.AmplificationDB),
-		phaseStep: 2 * math.Pi * cfg.CFOHz / cfg.SampleRate,
-		rxImp:     rxImp,
-		txImp:     txImp,
+	}
+	phaseStep := 2 * math.Pi * cfg.CFOHz / cfg.SampleRate
+	stages := make([]pipeline.Stage, 0, 8)
+	if rxImp != nil {
+		// Receive-chain impairments distort what the canceller observes,
+		// while its reference (tx) stays clean — the mismatch a linear
+		// canceller cannot subtract, eroding cancellation to the profile's
+		// floor.
+		stages = append(stages, pipeline.NewPusherStage("rx_impair", 0, rxImp))
+	}
+	stages = append(stages,
+		r.cancel,
+		pipeline.NewCFOStage("cfo_remove", -phaseStep),
+		pipeline.NewFIRStage("cnf_pre", pre),
+		pipeline.NewCFOStage("cfo_restore", phaseStep),
+		pipeline.NewGainStage("amp", complex(r.ampLin, 0)),
+		// The pending-sample handoff contributes one sample of delay, so
+		// the delay line holds the remainder; the marker declares the
+		// handoff register's sample so LatencySamples reports the full
+		// configured pipeline delay.
+		pipeline.NewDelayStage("pipe", cfg.PipelineDelaySamples-1),
+		pipeline.NewLatencyMarker("handoff", 1),
+	)
+	r.fwd = pipeline.NewChain("relay.fwd", stages...)
+	if txImp != nil {
+		// PA compression acts on the physically transmitted waveform.
+		r.tx = pipeline.NewChain("relay.tx", pipeline.NewPusherStage("pa", 0, txImp))
+	}
+	return r
+}
+
+// Chain returns the relay's forward signal path for inspection or
+// instrumentation.
+func (r *FFRelay) Chain() *pipeline.Chain { return r.fwd }
+
+// LatencySamples returns the chain-accounted pipeline latency in samples.
+func (r *FFRelay) LatencySamples() int { return r.fwd.LatencySamples() }
+
+// Instrument attaches pipeline.* metrics and per-stage timers to the
+// relay's chains on the given shard.
+func (r *FFRelay) Instrument(o *pipeline.Obs, shard int) {
+	r.fwd.Instrument(o, shard)
+	if r.tx != nil {
+		r.tx.Instrument(o, shard)
 	}
 }
 
-// ProcessingDelayS returns the relay's pipeline latency in seconds.
+// ProcessingDelayS returns the relay's pipeline latency in seconds, as
+// accounted by the forward chain.
 func (r *FFRelay) ProcessingDelayS() float64 {
-	return float64(r.cfg.PipelineDelaySamples) / r.cfg.SampleRate
+	return float64(r.fwd.LatencySamples()) / r.cfg.SampleRate
 }
 
 // Step advances the relay by one sample: incoming is the signal arriving
 // over the air from the source (without self-interference — the relay adds
 // that internally). It returns the sample the relay transmits this instant.
+//
+// The forward chain runs on a one-sample block per Step because the
+// physical feedback loop closes every sample: tx[n] leaks into rx[n]
+// through the SI channel, so the chain cannot be driven in larger blocks
+// without breaking causality. Chain state makes this bit-identical to any
+// other segmentation of the same sample stream.
 func (r *FFRelay) Step(incoming complex128) complex128 {
 	// 1. The sample leaving the pipeline is transmitted now.
 	var inj complex128
@@ -163,44 +217,31 @@ func (r *FFRelay) Step(incoming complex128) complex128 {
 	}
 	r.lastInjected = inj
 
-	// The pipeline output was enqueued PipelineDelaySamples ago; it already
-	// includes filtering and amplification. Add the injection probe.
-	// The transmitted sample left the pipeline PipelineDelaySamples after
-	// it was computed; `pending` (from the previous Step) enters now. A
-	// delay of d thus means tx[n] depends on rx[n-d], never on rx[n].
-	tx := r.pipe.Push(r.pending) + inj
-	if r.txImp != nil {
-		// PA compression acts on the physically transmitted waveform.
-		tx = r.txImp.Push(tx)
+	// The chain output computed last Step leaves the handoff register now;
+	// with the in-chain delay of PipelineDelaySamples−1 this makes tx[n]
+	// depend on rx[n−d], never on rx[n]. Add the injection probe.
+	tx := r.pending + inj
+	if r.tx != nil {
+		r.txBuf[0] = tx
+		r.tx.Process(r.txBuf[:])
+		tx = r.txBuf[0]
 	}
 
 	// 2. Physical reception: incoming + self-interference + thermal noise.
-
 	var noise complex128
 	if r.cfg.RxNoiseMW > 0 {
 		noise = r.cfg.NoiseSource.ComplexGaussian(r.cfg.RxNoiseMW)
 	}
 	rx := incoming + r.si.Push(tx) + noise
-	if r.rxImp != nil {
-		// Receive-chain impairments distort what the canceller observes,
-		// while its reference (tx) stays clean — the mismatch a linear
-		// canceller cannot subtract, eroding cancellation to the profile's
-		// floor.
-		rx = r.rxImp.Push(rx)
-	}
 
-	// 3. Causal digital cancellation (zero added latency): uses the TX
-	// samples up to and including this instant.
-	clean := r.canceller.Push(tx, rx)
-
-	// 4. CFO removal, CNF pre-filtering, amplification, CFO restoration.
-	derot := clean * cmplx.Exp(complex(0, -r.phase))
-	filtered := r.pre.Push(derot)
-	rerot := filtered * cmplx.Exp(complex(0, r.phase))
-	r.phase += r.phaseStep
-
-	// 5. Enqueue for transmission after the pipeline delay.
-	r.pending = rerot * complex(r.ampLin, 0)
+	// 3–5. The forward chain: receive impairments, causal digital
+	// cancellation against this instant's tx, CFO removal, CNF
+	// pre-filtering, CFO restoration, amplification, pipeline delay.
+	r.refBuf[0] = tx
+	r.cancel.SetReference(r.refBuf[:])
+	r.rxBuf[0] = rx
+	out := r.fwd.Process(r.rxBuf[:])
+	r.pending = out[0]
 	return tx
 }
 
@@ -208,10 +249,20 @@ func (r *FFRelay) Step(incoming complex128) complex128 {
 // transmitted samples.
 func (r *FFRelay) Process(incoming []complex128) []complex128 {
 	out := make([]complex128, len(incoming))
+	r.ProcessInto(out, incoming)
+	return out
+}
+
+// ProcessInto runs the relay over a block of incoming samples into a
+// caller-owned output buffer (no per-call allocation). out and incoming
+// may alias.
+func (r *FFRelay) ProcessInto(out, incoming []complex128) {
+	if len(out) != len(incoming) {
+		panic("relay: ProcessInto length mismatch")
+	}
 	for i, v := range incoming {
 		out[i] = r.Step(v)
 	}
-	return out
 }
 
 // LastInjected returns the most recent injected-noise sample (the known
@@ -221,15 +272,9 @@ func (r *FFRelay) LastInjected() complex128 { return r.lastInjected }
 // Reset clears all filter and pipeline state.
 func (r *FFRelay) Reset() {
 	r.si.Reset()
-	r.canceller.Reset()
-	r.pre.Reset()
-	r.pipe.Reset()
-	r.phase = 0
+	r.fwd.Reset()
+	if r.tx != nil {
+		r.tx.Reset()
+	}
 	r.pending = 0
-	if r.rxImp != nil {
-		r.rxImp.Reset()
-	}
-	if r.txImp != nil {
-		r.txImp.Reset()
-	}
 }

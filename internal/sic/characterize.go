@@ -3,6 +3,7 @@ package sic
 import (
 	"fastforward/internal/dsp"
 	"fastforward/internal/obs"
+	"fastforward/internal/pipeline"
 	"fastforward/internal/rng"
 )
 
@@ -83,7 +84,13 @@ func Characterize(src *rng.Source, cfg CharacterizeConfig, reg *obs.Registry) []
 		residual := a.ResidualFIR(si, cfg.BandwidthHz, cfg.ResidualTaps, 2)
 		tx := src.NoiseVector(cfg.Samples, cfg.TxPowerMW)
 		noise := src.NoiseVector(cfg.Samples, cfg.NoiseMW)
-		rx := dsp.Add(dsp.FilterSame(tx, residual), noise)
+		// Streaming FIR stage from zero state is bit-exact with the old
+		// dsp.FilterSame call (identical summation order), so the golden
+		// characterization vectors are unchanged.
+		leak := make([]complex128, len(tx))
+		copy(leak, tx)
+		pipeline.NewFIRStage("sic_residual", residual).Process(leak)
+		rx := dsp.Add(leak, noise)
 		c := Characterization{
 			AnalogDB:       analogDB,
 			UnquantizedDB:  a.LastTune.UnquantizedDB,

@@ -19,8 +19,8 @@ import (
 	"math"
 	"math/cmplx"
 
-	"fastforward/internal/dsp"
 	"fastforward/internal/linalg"
+	"fastforward/internal/pipeline"
 	"fastforward/internal/rng"
 )
 
@@ -589,39 +589,55 @@ func EstimateFIR(ref, rx []complex128, nTaps int, lambda float64) ([]complex128,
 // DigitalCanceller is the streaming causal digital cancellation stage: it
 // subtracts FIR(tx) from the received samples with *zero* added latency —
 // tap 0 applies to the sample currently being transmitted, so no received
-// samples are ever buffered (Fig 9a).
+// samples are ever buffered (Fig 9a). It wraps pipeline.CancelStage, so it
+// slots directly into relay chains and can arm the overlap-save FFT fast
+// path for block workloads.
 type DigitalCanceller struct {
-	fir *dsp.FIR
+	stage *pipeline.CancelStage
 }
 
 // NewDigitalCanceller builds the canceller from estimated SI taps.
 func NewDigitalCanceller(taps []complex128) *DigitalCanceller {
-	return &DigitalCanceller{fir: dsp.NewFIR(taps)}
+	return &DigitalCanceller{stage: pipeline.NewCancelStage("sic_cancel", taps)}
 }
 
 // NumTaps returns the canceller length.
-func (d *DigitalCanceller) NumTaps() int { return d.fir.NumTaps() }
+func (d *DigitalCanceller) NumTaps() int { return d.stage.NumTaps() }
+
+// Stage exposes the canceller as a pipeline stage for chain composition.
+func (d *DigitalCanceller) Stage() *pipeline.CancelStage { return d.stage }
+
+// EnableFFT arms the overlap-save fast path for block processing. The
+// direct form stays in use for per-sample Push and short blocks; outputs
+// then agree with the direct form to floating round-off, not bit-exactly.
+func (d *DigitalCanceller) EnableFFT() { d.stage.EnableFFT() }
 
 // Push consumes one transmitted sample and one received sample and returns
 // the cleaned received sample.
 func (d *DigitalCanceller) Push(tx, rx complex128) complex128 {
-	return rx - d.fir.Push(tx)
+	return d.stage.PushPair(tx, rx)
 }
 
 // Process cleans whole blocks (state is preserved across calls).
 func (d *DigitalCanceller) Process(tx, rx []complex128) []complex128 {
-	if len(tx) != len(rx) {
-		panic("sic: Process length mismatch")
-	}
 	out := make([]complex128, len(rx))
-	for i := range rx {
-		out[i] = d.Push(tx[i], rx[i])
-	}
+	d.ProcessInto(out, tx, rx)
 	return out
 }
 
+// ProcessInto cleans a block into a caller-owned buffer, avoiding the
+// per-call allocation of Process. out and rx may alias.
+func (d *DigitalCanceller) ProcessInto(out, tx, rx []complex128) {
+	if len(tx) != len(rx) || len(out) != len(rx) {
+		panic("sic: Process length mismatch")
+	}
+	copy(out, rx)
+	d.stage.SetReference(tx)
+	d.stage.Process(out)
+}
+
 // Reset clears canceller state.
-func (d *DigitalCanceller) Reset() { d.fir.Reset() }
+func (d *DigitalCanceller) Reset() { d.stage.Reset() }
 
 // MeasureCancellationDB returns the achieved cancellation: the power ratio
 // of the self-interference before and after cancellation, capped at the

@@ -1,0 +1,98 @@
+package testbed
+
+import (
+	"fastforward/internal/linalg"
+	"fastforward/internal/pipeline"
+)
+
+// matrixFlow is the per-carrier matrix analogue of pipeline.Chain: the
+// MIMO evaluation's relayed-path algebra (Hrd·FA·Hsr scaled by the CP
+// overlap) declared as a sequence of stages over the carrier stack instead
+// of an inline loop. Stages run left to right over a working copy of the
+// input stack; taps expose intermediate products (the same role
+// pipeline.TapStage plays on scalar chains). Every stage is a pure
+// per-carrier matrix operation, so the flow preserves the exact operation
+// order — and therefore the exact bits — of the loop it replaced.
+type matrixFlow struct {
+	name   string
+	stages []matrixStage
+	o      *pipeline.Obs
+	shard  int
+}
+
+type matrixStage interface {
+	name() string
+	apply(X []*linalg.Matrix) []*linalg.Matrix
+}
+
+func newMatrixFlow(name string, stages ...matrixStage) *matrixFlow {
+	return &matrixFlow{name: name, stages: stages}
+}
+
+// instrument attaches the pipeline.* counters (blocks = flow runs,
+// samples = carriers processed).
+func (f *matrixFlow) instrument(o *pipeline.Obs, shard int) {
+	f.o = o
+	f.shard = shard
+}
+
+// run processes the carrier stack through every stage. The input slice is
+// not modified; the returned stack is the final stage's output.
+func (f *matrixFlow) run(in []*linalg.Matrix) []*linalg.Matrix {
+	if f.o != nil {
+		f.o.Blocks.Inc(f.shard)
+		f.o.Samples.Add(f.shard, uint64(len(in)))
+	}
+	X := make([]*linalg.Matrix, len(in))
+	copy(X, in)
+	for _, st := range f.stages {
+		X = st.apply(X)
+	}
+	return X
+}
+
+// mulRight right-multiplies each carrier by the matching matrix:
+// X[i] = X[i]·M[i].
+type mulRight struct {
+	stageName string
+	M         []*linalg.Matrix
+}
+
+func (s *mulRight) name() string { return s.stageName }
+
+func (s *mulRight) apply(X []*linalg.Matrix) []*linalg.Matrix {
+	for i := range X {
+		X[i] = X[i].Mul(s.M[i])
+	}
+	return X
+}
+
+// matrixTap snapshots the stack flowing through it (matrix pointers, not
+// copies — downstream stages produce new matrices rather than mutating).
+type matrixTap struct {
+	stageName string
+	got       []*linalg.Matrix
+}
+
+func (s *matrixTap) name() string { return s.stageName }
+
+func (s *matrixTap) apply(X []*linalg.Matrix) []*linalg.Matrix {
+	s.got = make([]*linalg.Matrix, len(X))
+	copy(s.got, X)
+	return X
+}
+
+// matrixScale scales every carrier: X[i] = X[i]·w.
+type matrixScale struct {
+	stageName string
+	w         float64
+}
+
+func (s *matrixScale) name() string { return s.stageName }
+
+func (s *matrixScale) apply(X []*linalg.Matrix) []*linalg.Matrix {
+	for i := range X {
+		X[i] = X[i].Scale(s.w)
+	}
+	return X
+}

@@ -3,6 +3,7 @@ package testbed
 import (
 	"fastforward/internal/obs"
 	"fastforward/internal/phyrate"
+	"fastforward/internal/pipeline"
 	"fastforward/internal/relay"
 )
 
@@ -38,6 +39,10 @@ type instruments struct {
 	soundMiss     *obs.Counter
 	staleFilter   *obs.Counter
 	blindFallback *obs.Counter
+
+	// pipe carries the pipeline.* handles every declared signal-flow chain
+	// in the testbed records into (nil when observability is off).
+	pipe *pipeline.Obs
 }
 
 func newInstruments(r *obs.Registry) instruments {
@@ -64,6 +69,8 @@ func newInstruments(r *obs.Registry) instruments {
 		soundMiss:     r.Counter("impair.sounding_miss", "rounds"),
 		staleFilter:   r.Counter("impair.stale_filter_clients", "cells"),
 		blindFallback: r.Counter("impair.blind_fallback_clients", "cells"),
+
+		pipe: pipeline.NewObs(r),
 	}
 	for b := relay.AmpBoundCancellation; b <= relay.AmpBoundFloor; b++ {
 		ins.ampBounds[b] = r.Counter("relay.amp_bound."+b.String(), "cells")

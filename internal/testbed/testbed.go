@@ -28,6 +28,7 @@ import (
 	"fastforward/internal/ofdm"
 	"fastforward/internal/par"
 	"fastforward/internal/phyrate"
+	"fastforward/internal/pipeline"
 	"fastforward/internal/relay"
 	"fastforward/internal/rng"
 	"fastforward/internal/wifi"
@@ -142,11 +143,20 @@ type Testbed struct {
 	carriers []int
 	ins      instruments
 
+	// relayLat is the relay forward chain's accounted latency in samples;
+	// delayBudget is Config.ProcessingDelayNs converted to whole samples.
+	relayLat    int
+	delayBudget int
+
 	// Cached relay-side state (independent of client position).
 	apRelayPaths []floorplan.Path
 }
 
-// New builds a testbed for a scenario.
+// New builds a testbed for a scenario. It instantiates a reference relay
+// chain for the configured processing delay, asserts the chain's accounted
+// latency fits the configured budget, and records the chain latency
+// against the OFDM CP through the pipeline.* metrics (soft: Fig 16
+// deliberately sweeps the delay past the CP).
 func New(sc floorplan.Scenario, cfg Config) *Testbed {
 	if cfg.CarrierStride < 1 {
 		cfg.CarrierStride = 1
@@ -158,7 +168,7 @@ func New(sc floorplan.Scenario, cfg Config) *Testbed {
 			carriers = append(carriers, k)
 		}
 	}
-	return &Testbed{
+	tb := &Testbed{
 		cfg:          cfg,
 		scenario:     sc,
 		params:       p,
@@ -166,7 +176,33 @@ func New(sc floorplan.Scenario, cfg Config) *Testbed {
 		ins:          newInstruments(cfg.Obs),
 		apRelayPaths: sc.Plan.Trace(sc.AP, sc.Relay, 2),
 	}
+	// The configured processing delay in whole samples (≥1: the relay
+	// cannot retransmit the sample it is still receiving).
+	tb.delayBudget = int(math.Ceil(cfg.ProcessingDelayNs * 1e-9 * p.SampleRate))
+	if tb.delayBudget < 1 {
+		tb.delayBudget = 1
+	}
+	ref := relay.New(relay.Config{
+		SampleRate:           p.SampleRate,
+		PipelineDelaySamples: tb.delayBudget,
+	})
+	tb.relayLat = ref.LatencySamples()
+	if tb.relayLat > tb.delayBudget {
+		// Internal consistency: the chain must account exactly the delay it
+		// was configured with; a hidden latency stage is a programming error.
+		panic("testbed: relay chain latency exceeds the configured processing-delay budget")
+	}
+	// New runs serially, so shard 0 keeps recording deterministic.
+	ref.Instrument(tb.ins.pipe, 0)
+	ref.Chain().CheckBudget(p.CPLen)
+	return tb
 }
+
+// RelayLatencySamples returns the relay forward chain's accounted latency.
+func (tb *Testbed) RelayLatencySamples() int { return tb.relayLat }
+
+// RelayDelayBudgetSamples returns Config.ProcessingDelayNs in samples.
+func (tb *Testbed) RelayDelayBudgetSamples() int { return tb.delayBudget }
 
 // Params exposes the OFDM numerology in use.
 func (tb *Testbed) Params() *ofdm.Params { return tb.params }
@@ -447,14 +483,31 @@ func (tb *Testbed) evaluateSISO(ev *Evaluation, shard int, imp *impairState, sdP
 			hc[i] = amp
 		}
 	}
+	// The relayed path as a declared chain over the per-carrier responses:
+	// AP→relay hop is applied last so the tap after the CNF stage exposes
+	// hrd·hc — the relay-to-destination gain that scales the forwarded
+	// receiver noise. The grouping (hrd·hc)·hsr matches the loop this
+	// replaced bit-exactly.
+	tap := pipeline.NewTapStage("after_cnf")
+	flow := pipeline.NewChain("testbed.siso_relayed",
+		pipeline.NewVecMulStage("cnf", hc),
+		tap,
+		pipeline.NewVecMulStage("hop_sr", hsr),
+	)
+	flow.Instrument(tb.ins.pipe, shard)
+	relayedBlk := make([]complex128, len(hrd))
+	copy(relayedBlk, hrd)
+	flow.Process(relayedBlk)
+	relayGain := tap.Samples()
+
 	heff := make([]complex128, len(hsd))
 	extraNoise := make([]float64, len(hsd))
 	w := complex(useful, 0)
 	var directPow, combinedPow float64
 	for i := range hsd {
-		relayed := hrd[i] * hc[i] * hsr[i]
+		relayed := relayedBlk[i]
 		heff[i] = hsd[i] + w*relayed
-		g := absSq(hrd[i] * hc[i])
+		g := absSq(relayGain[i])
 		// Relay receiver noise (thermal plus residual self-interference)
 		// forwarded to the destination, plus the relayed signal power that
 		// falls outside the CP as ISI.
@@ -531,12 +584,29 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, shard int, imp 
 			FA[i] = blind
 		}
 	}
+	// The relayed path as a declared matrix flow over the carrier stack:
+	// Hrd → ·FA (tap: the relay-to-destination gain Hrd·FA that scales the
+	// forwarded receiver noise) → ·Hsr (tap: the full relayed response) →
+	// ×useful (the CP-overlap weight). Operation order matches the loop
+	// this replaced bit-exactly.
+	tapGain := &matrixTap{stageName: "after_cnf"}
+	tapRel := &matrixTap{stageName: "relayed"}
+	flow := newMatrixFlow("testbed.mimo_relayed",
+		&mulRight{stageName: "cnf", M: FA},
+		tapGain,
+		&mulRight{stageName: "hop_sr", M: Hsr},
+		tapRel,
+		&matrixScale{stageName: "cp_overlap", w: useful},
+	)
+	flow.instrument(tb.ins.pipe, shard)
+	scaled := flow.run(Hrd)
+
 	Heff := make([]*linalg.Matrix, len(Hsd))
 	cov := make([]*linalg.Matrix, len(Hsd))
 	var directPow, combinedPow float64
 	for i := range Hsd {
-		HrdFA := Hrd[i].Mul(FA[i])
-		Heff[i] = Hsd[i].Add(HrdFA.Mul(Hsr[i]).Scale(useful))
+		HrdFA := tapGain.got[i]
+		Heff[i] = Hsd[i].Add(scaled[i])
 		fd := Hsd[i].FrobeniusNorm()
 		fc := Heff[i].FrobeniusNorm()
 		directPow += fd * fd
@@ -545,7 +615,7 @@ func (tb *Testbed) evaluateMIMO(ev *Evaluation, src *rng.Source, shard int, imp 
 		if isiFrac > 0 {
 			// Relayed power that falls outside the CP becomes white-ish
 			// interference across antennas.
-			rel := HrdFA.Mul(Hsr[i])
+			rel := tapRel.got[i]
 			isiPow := isiFrac * (rel.FrobeniusNorm()*rel.FrobeniusNorm()*txMW/float64(nAnt) +
 				HrdFA.FrobeniusNorm()*HrdFA.FrobeniusNorm()*relayNoiseMW) / float64(nAnt)
 			for d := 0; d < nAnt; d++ {

@@ -288,3 +288,25 @@ func TestRelativeGainsSkipsDeadBaseline(t *testing.T) {
 		t.Error("unexpected Inf")
 	}
 }
+
+// TestRelayChainLatencyBudget asserts the relay forward chain's accounted
+// latency fits the configured processing-delay budget — the paper's
+// ≤100 ns claim as a monitored, testable quantity — and that the default
+// operating point also sits inside the OFDM CP.
+func TestRelayChainLatencyBudget(t *testing.T) {
+	sc := floorplan.Scenarios()[0]
+	for _, ns := range []float64{100, 300, 450} {
+		cfg := coarse(1)
+		cfg.ProcessingDelayNs = ns
+		tb := New(sc, cfg)
+		if got, budget := tb.RelayLatencySamples(), tb.RelayDelayBudgetSamples(); got > budget {
+			t.Fatalf("%v ns: relay chain latency %d samples exceeds configured budget %d", ns, got, budget)
+		}
+	}
+	// The default 100 ns operating point must fit the CP with room to
+	// spare (CP is 400 ns at 20 Msps).
+	tb := New(sc, coarse(1))
+	if lat := tb.RelayLatencySamples(); lat > tb.Params().CPLen {
+		t.Fatalf("default relay latency %d samples exceeds the %d-sample CP", lat, tb.Params().CPLen)
+	}
+}
