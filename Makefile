@@ -11,7 +11,7 @@
 GO ?= go
 SMOKE := .smoke
 
-.PHONY: all build test vet lint race check bench manifest-smoke fuzz-smoke
+.PHONY: all build test vet lint race check bench bench-allocs bench-sessions manifest-smoke fuzz-smoke
 
 all: check
 
@@ -28,7 +28,8 @@ vet:
 # randomness in sweep-path packages), seedflow (worker rngs derive from
 # rng.ItemSeed), dbunits (dB/linear naming discipline), obsmetrics
 # (metric names match internal/obs/METRICS.txt, OBSERVABILITY.md, and
-# the manifestcheck -require lists above). Suppress a finding with
+# the manifestcheck -require lists above), allocfree (no per-block
+# allocation inside Process/ProcessInto bodies). Suppress a finding with
 # `//fflint:allow <analyzer> <reason>` — the reason is mandatory.
 lint: build
 	$(GO) run ./cmd/fflint ./...
@@ -41,7 +42,7 @@ lint: build
 # (sic in -short mode: the long characterization sweeps are Short-gated,
 # the concurrent-registry tests are not).
 race:
-	$(GO) test -race ./internal/par ./internal/fft ./internal/ident ./internal/obs
+	$(GO) test -race ./internal/par ./internal/fft ./internal/ident ./internal/obs ./internal/pipeline
 	$(GO) test -race -short ./internal/sic
 	$(GO) test -race -run 'Parallel|Slot|Determinism' ./internal/testbed
 
@@ -77,6 +78,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFeedback$$' -fuzztime $(FUZZTIME) ./internal/protocol
 	$(GO) test -run '^$$' -fuzz '^FuzzDetect$$' -fuzztime $(FUZZTIME) ./internal/ident
 	$(GO) test -run '^$$' -fuzz '^FuzzChainSegmentation$$' -fuzztime $(FUZZTIME) ./internal/pipeline
+	$(GO) test -run '^$$' -fuzz '^FuzzSoARoundTrip$$' -fuzztime $(FUZZTIME) ./internal/dsp
 
 # Record the perf baseline (see EXPERIMENTS.md "Performance baseline").
 # The pipeline micro-benchmarks (relay block path + SIC filter direct vs
@@ -85,3 +87,19 @@ bench:
 	$(GO) test -bench . -benchtime 1x .
 	$(GO) test -bench Forward -benchtime 100000x ./internal/fft
 	$(GO) test -run '^$$' -bench 'FFRelayProcess|MIMORelayProcess|SICFilter' -benchmem -json . > BENCH_pipeline.json
+
+# Alloc-regression gate: the per-block hot paths (SIC filter, relay
+# forward chain, batched multi-session sweep) must stay at 0 allocs/op.
+# Any benchmark line reporting nonzero allocs/op fails the target.
+bench-allocs: build
+	$(GO) test -run '^$$' -bench 'SICFilter|FFRelayProcess|PipelineBatch' -benchmem -benchtime 100x . \
+		| tee /dev/stderr \
+		| awk '/allocs\/op/ { if ($$(NF-1)+0 != 0) bad = 1 } END { if (bad) { print "FAIL: nonzero allocs/op in a per-block hot path"; exit 1 } }'
+
+# Machine benchmark: how many concurrent real-time 20 MHz full-duplex
+# sessions one core carries (see cmd/ffsim -fig sessions). The gauge may
+# legitimately read 0 on a slow or heavily loaded host, so the check
+# requires the sweep machinery's counters, not a nonzero session count.
+bench-sessions: build
+	$(GO) run ./cmd/ffsim -fig sessions -sic-trials 0 -manifest BENCH_sessions.json
+	$(GO) run ./cmd/manifestcheck -require pipeline.batch.sweeps,pipeline.batch.sessions,pipeline.blocks,pipeline.soa_blocks BENCH_sessions.json

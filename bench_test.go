@@ -11,7 +11,9 @@ import (
 	"fastforward/internal/dsp"
 	"fastforward/internal/floorplan"
 	"fastforward/internal/ident"
+	"fastforward/internal/obs"
 	"fastforward/internal/phyrate"
+	"fastforward/internal/pipeline"
 	"fastforward/internal/relay"
 	"fastforward/internal/rng"
 	"fastforward/internal/sic"
@@ -222,7 +224,8 @@ func BenchmarkFig7FeedbackStability(b *testing.B) {
 
 // BenchmarkSICFilter measures the 120-tap digital canceller on an
 // 8192-sample block: the direct form (bit-exact golden path) against the
-// overlap-save FFT fast path (within 1e-9, selectable per stage).
+// planar SoA and overlap-save FFT fast paths (each within 1e-9,
+// selectable per stage).
 func BenchmarkSICFilter(b *testing.B) {
 	const nTaps, nSamp = 120, 8192
 	src := rng.New(1)
@@ -233,11 +236,12 @@ func BenchmarkSICFilter(b *testing.B) {
 	tx := src.NoiseVector(nSamp, 1)
 	rx := src.NoiseVector(nSamp, 1)
 	out := make([]complex128, nSamp)
-	run := func(b *testing.B, fft bool) {
+	run := func(b *testing.B, arm func(*sic.DigitalCanceller)) {
 		d := sic.NewDigitalCanceller(taps)
-		if fft {
-			d.EnableFFT()
+		if arm != nil {
+			arm(d)
 		}
+		d.ProcessInto(out, tx, rx) // warm scratch buffers
 		b.ReportAllocs()
 		b.SetBytes(nSamp * 16)
 		b.ResetTimer()
@@ -245,8 +249,9 @@ func BenchmarkSICFilter(b *testing.B) {
 			d.ProcessInto(out, tx, rx)
 		}
 	}
-	b.Run("direct", func(b *testing.B) { run(b, false) })
-	b.Run("fft", func(b *testing.B) { run(b, true) })
+	b.Run("direct", func(b *testing.B) { run(b, nil) })
+	b.Run("soa", func(b *testing.B) { run(b, (*sic.DigitalCanceller).EnableSoA) })
+	b.Run("fft", func(b *testing.B) { run(b, (*sic.DigitalCanceller).EnableFFT) })
 }
 
 // BenchmarkFFRelayProcess measures the SISO relay's full forward chain —
@@ -262,22 +267,132 @@ func BenchmarkFFRelayProcess(b *testing.B) {
 	for i := range pre {
 		pre[i] = src.ComplexGaussian(1.0 / 16)
 	}
-	r := relay.New(relay.Config{
-		SampleRate:           20e6,
-		AmplificationDB:      20,
-		PipelineDelaySamples: 2,
-		PreFilterTaps:        pre,
-		CFOHz:                1500,
-		SIChannelTaps:        si,
-		CancelTaps:           si,
-	})
 	in := src.NoiseVector(4096, 1)
 	out := make([]complex128, len(in))
-	b.ReportAllocs()
-	b.SetBytes(int64(len(in)) * 16)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.ProcessInto(out, in)
+	run := func(b *testing.B, fast bool) {
+		r := relay.New(relay.Config{
+			SampleRate:           20e6,
+			AmplificationDB:      20,
+			PipelineDelaySamples: 2,
+			PreFilterTaps:        pre,
+			CFOHz:                1500,
+			SIChannelTaps:        si,
+			CancelTaps:           si,
+		})
+		if fast {
+			r.EnableFastPath()
+		}
+		r.ProcessInto(out, in) // warm scratch buffers
+		b.ReportAllocs()
+		b.SetBytes(int64(len(in)) * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.ProcessInto(out, in)
+		}
+	}
+	b.Run("direct", func(b *testing.B) { run(b, false) })
+	b.Run("fast", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkPipelineBatch compares advancing 8 independent 20 MHz session
+// chains one by one against the batched stage-sweep executor on the same
+// chains, both instrumented the way a deployment runs them. Two
+// scheduling quanta: "sample" is the latency-critical per-sample drive
+// (one sample per chain per sweep, direct forms — here the per-stage
+// timer brackets and counters dominate, and the batch pays them once per
+// stage instead of once per stage per session, roughly a 2x sweep win);
+// "block256" is the throughput mode with the fast paths armed, where the
+// batch's amortization nets a smaller margin on top of the kernels.
+func BenchmarkPipelineBatch(b *testing.B) {
+	const nSessions = 8
+	build := func(blockLen int) ([]*pipeline.Chain, []*pipeline.CancelStage, [][]complex128, [][]complex128) {
+		chains := make([]*pipeline.Chain, nSessions)
+		cancels := make([]*pipeline.CancelStage, nSessions)
+		txs := make([][]complex128, nSessions)
+		rxs := make([][]complex128, nSessions)
+		for i := 0; i < nSessions; i++ {
+			src := rng.New(rng.ItemSeed(7, i))
+			taps := make([]complex128, 120)
+			for k := range taps {
+				taps[k] = src.ComplexGaussian(1.0 / 120)
+			}
+			pre := make([]complex128, 16)
+			for k := range pre {
+				pre[k] = src.ComplexGaussian(1.0 / 16)
+			}
+			cancels[i] = pipeline.NewCancelStage("cancel", taps)
+			chains[i] = pipeline.NewChain("session",
+				cancels[i],
+				pipeline.NewCFOStage("cfo_remove", -4.7e-4),
+				pipeline.NewFIRStage("cnf_pre", pre),
+				pipeline.NewCFOStage("cfo_restore", 4.7e-4),
+				pipeline.NewGainStage("amp", complex(3.16, 0)),
+			)
+			txs[i] = src.NoiseVector(blockLen, 1)
+			rxs[i] = src.NoiseVector(blockLen, 1)
+		}
+		return chains, cancels, txs, rxs
+	}
+	for _, mode := range []struct {
+		name     string
+		blockLen int
+		fast     bool
+	}{
+		{"sample", 1, false},
+		{"block256", 256, true},
+	} {
+		blocks := make([][]complex128, nSessions)
+		for i := range blocks {
+			blocks[i] = make([]complex128, mode.blockLen)
+		}
+		b.Run(mode.name+"/sequential", func(b *testing.B) {
+			chains, cancels, txs, rxs := build(mode.blockLen)
+			o := pipeline.NewObs(obs.New())
+			for _, c := range chains {
+				c.Instrument(o, 0)
+				if mode.fast {
+					c.EnableFastPath()
+				}
+			}
+			for s := 0; s < nSessions; s++ { // warm scratch buffers
+				copy(blocks[s], rxs[s])
+				cancels[s].SetReference(txs[s])
+				chains[s].Process(blocks[s])
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(nSessions * mode.blockLen * 16))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < nSessions; s++ {
+					copy(blocks[s], rxs[s])
+					cancels[s].SetReference(txs[s])
+					chains[s].Process(blocks[s])
+				}
+			}
+		})
+		b.Run(mode.name+"/batch", func(b *testing.B) {
+			chains, cancels, txs, rxs := build(mode.blockLen)
+			bat := pipeline.NewBatch("bench", chains...)
+			bat.Instrument(pipeline.NewObs(obs.New()), 0)
+			if mode.fast {
+				bat.EnableFastPath()
+			}
+			for s := 0; s < nSessions; s++ { // warm scratch buffers
+				copy(blocks[s], rxs[s])
+				cancels[s].SetReference(txs[s])
+			}
+			bat.ProcessAll(blocks)
+			b.ReportAllocs()
+			b.SetBytes(int64(nSessions * mode.blockLen * 16))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < nSessions; s++ {
+					copy(blocks[s], rxs[s])
+					cancels[s].SetReference(txs[s])
+				}
+				bat.ProcessAll(blocks)
+			}
+		})
 	}
 }
 

@@ -9,6 +9,9 @@
 //	             explicit conversion
 //	obsmetrics — metric names match the checked-in registry, which in
 //	             turn matches OBSERVABILITY.md and the Makefile
+//	allocfree  — no per-block allocation (slice make outside a grow-once
+//	             guard, allocating dsp helpers) in Process/ProcessInto
+//	             hot paths of the signal-path packages
 //
 // over the packages named by its arguments (default ./...). Findings
 // print in go-vet style (file:line:col: analyzer: message) and a nonzero
@@ -27,6 +30,7 @@ import (
 	"os"
 
 	"fastforward/internal/analysis"
+	"fastforward/internal/analysis/allocfree"
 	"fastforward/internal/analysis/dbunits"
 	"fastforward/internal/analysis/detrand"
 	"fastforward/internal/analysis/driver"
@@ -43,6 +47,7 @@ func main() {
 		seedflow.Default(),
 		dbunits.Default(),
 		obsmetrics.Default(),
+		allocfree.Default(),
 	}
 
 	if *list {

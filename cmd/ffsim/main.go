@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ffsim [-fig all|12|13|14|15|16|17|18|deg] [-seed N] [-grid meters] [-stride n] [-workers n]
+//	ffsim [-fig all|12|13|14|15|16|17|18|deg|sessions] [-seed N] [-grid meters] [-stride n] [-workers n]
 //	      [-impair profile[,k=v...]] [-manifest out.json] [-pprof addr] [-cpuprofile f] [-memprofile f]
 //
 // -impair degrades the relay with a hardware-impairment profile (see
@@ -11,6 +11,14 @@
 // profiles like adc or stale-csi, optionally overlaid with key=value
 // knobs). -fig deg sweeps the whole severity ladder per scenario and
 // reports the graceful-degradation summary.
+//
+// -fig sessions is a machine benchmark rather than a paper figure: it
+// binary-searches the largest number of concurrent 20 MHz full-duplex
+// sessions whose batched relay chains hold the real-time deadline on one
+// core (direct forms, then with the SoA/FFT/rotator fast paths armed)
+// and publishes the result as the pipeline.sessions_per_core gauge. It
+// is excluded from -fig all because its numbers are wall-clock
+// measurements of the host, not deterministic simulation output.
 package main
 
 import (
@@ -22,7 +30,9 @@ import (
 	"fastforward/cmd/internal/runmeta"
 	"fastforward/internal/floorplan"
 	"fastforward/internal/impair"
+	"fastforward/internal/obs"
 	"fastforward/internal/phyrate"
+	"fastforward/internal/pipeline"
 	"fastforward/internal/rng"
 	"fastforward/internal/sic"
 	"fastforward/internal/stats"
@@ -82,9 +92,16 @@ func main() {
 	runFig("17", fig17)
 	runFig("18", fig18)
 	runFig("deg", figDeg)
+	// The sessions sweep is a wall-clock machine benchmark, not a paper
+	// figure: it only runs when asked for, never under "all".
+	if *fig == "sessions" {
+		stop := cfg.Obs.Stage("figsessions")
+		figSessions(run.Registry(), *seed)
+		stop()
+	}
 	if *fig != "all" {
 		switch *fig {
-		case "12", "13", "14", "15", "16", "17", "18", "deg":
+		case "12", "13", "14", "15", "16", "17", "18", "deg", "sessions":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 			os.Exit(2)
@@ -170,6 +187,36 @@ func figDeg(cfg testbed.Config) {
 	fmt.Println("  (cancellation loss is monotone by construction; amplification clamps to")
 	fmt.Println("   the residual-aware noise rule, so throughput degrades without feedback")
 	fmt.Println("   instability — the relay fails soft toward the no-relay baseline)")
+}
+
+func figSessions(reg *obs.Registry, seed int64) {
+	fmt.Println("== Sessions: concurrent real-time 20 MHz sessions per core ==")
+	base := pipeline.SessionConfig{Seed: seed}
+	run := func(label string, fast bool) pipeline.SessionResult {
+		cfg := base
+		cfg.FastPath = fast
+		r := pipeline.RunSessionSweep(reg, cfg)
+		fmt.Printf("  %-9s sessions/core=%3d  deadline=%8.1fus  sweep=%8.1fus  per-session=%8.1fus\n",
+			label, r.Sessions, r.DeadlineNS/1e3, r.NSPerSweep/1e3, r.NSPerSession/1e3)
+		for _, p := range r.Probes {
+			mark := "miss"
+			if p.RealTime {
+				mark = "ok"
+			}
+			fmt.Printf("    probe n=%3d  sweep=%8.1fus  %s\n", p.Sessions, p.NSPerSweep/1e3, mark)
+		}
+		return r
+	}
+	run("direct", false)
+	// Fast path last: the published pipeline.sessions_per_core gauge is
+	// the deployment configuration.
+	r := run("fast", true)
+	fmt.Printf("  (deadline is the air time of one %d-sample block at %.0f MHz;\n",
+		r.Config.BlockSamples, r.Config.SampleRateHz/1e6)
+	fmt.Printf("   a count of N means N batched relay chains — %d-tap cancel, CFO\n",
+		r.Config.CancelTaps)
+	fmt.Printf("   remove/restore, %d-tap CNF, amplify — keep up with the air interface)\n",
+		r.Config.CNFTaps)
 }
 
 func fig18(cfg testbed.Config) {

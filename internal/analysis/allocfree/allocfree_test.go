@@ -1,0 +1,15 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/allocfree"
+	"fastforward/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	a := allocfree.New(allocfree.Config{
+		HotPackages: []string{"allocfixture"},
+	})
+	analysistest.Run(t, "testdata", a, "allocfixture", "coldpkg")
+}

@@ -1,0 +1,9 @@
+// Package coldpkg is outside the hot-package set: Process here may
+// allocate freely (the analyzer scopes to the signal-path packages).
+package coldpkg
+
+func Process(block []complex128) []complex128 {
+	out := make([]complex128, len(block)) // outside HotPackages: allowed
+	copy(out, block)
+	return out
+}

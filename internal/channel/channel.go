@@ -128,9 +128,13 @@ func (c *SISO) MaxDelay() int {
 }
 
 // AWGN adds complex Gaussian noise with the given average power (mW) to x
-// and returns a new slice.
+// and returns a new slice (x is not modified). The signal adds into the
+// freshly drawn noise vector — bit-identical to summing the other way,
+// one allocation instead of two.
 func AWGN(src *rng.Source, x []complex128, noisePowerMW float64) []complex128 {
-	return dsp.Add(x, src.NoiseVector(len(x), noisePowerMW))
+	n := src.NoiseVector(len(x), noisePowerMW)
+	dsp.AddInPlace(n, x)
+	return n
 }
 
 // NoiseFloorMW returns the standard noise floor in mW.

@@ -10,7 +10,11 @@ package dsp
 // which adds no buffering delay (Sec 3.3, Fig 9a).
 type FIR struct {
 	taps []complex128
-	// circular delay line: line[pos] is the most recent input.
+	// line is the delay line stored twice over (length 2·T): every input
+	// is written at pos and pos+T, so line[pos:pos+T] is always the most
+	// recent T inputs, newest first, without a wrap branch in the tap
+	// loop. The accumulation order is identical to the classic circular
+	// buffer, so outputs are bit-exact with it.
 	line []complex128
 	pos  int
 }
@@ -25,7 +29,7 @@ func NewFIR(taps []complex128) *FIR {
 	copy(t, taps)
 	return &FIR{
 		taps: t,
-		line: make([]complex128, len(taps)),
+		line: make([]complex128, 2*len(taps)),
 	}
 }
 
@@ -50,19 +54,17 @@ func (f *FIR) SetTaps(taps []complex128) {
 
 // Push feeds one input sample and returns the corresponding output sample.
 func (f *FIR) Push(x complex128) complex128 {
+	t := len(f.taps)
 	f.pos--
 	if f.pos < 0 {
-		f.pos = len(f.line) - 1
+		f.pos = t - 1
 	}
 	f.line[f.pos] = x
+	f.line[f.pos+t] = x
 	var acc complex128
-	idx := f.pos
-	for _, h := range f.taps {
-		acc += h * f.line[idx]
-		idx++
-		if idx == len(f.line) {
-			idx = 0
-		}
+	win := f.line[f.pos : f.pos+t]
+	for k, h := range f.taps {
+		acc += h * win[k]
 	}
 	return acc
 }
@@ -79,15 +81,12 @@ func (f *FIR) Reset() {
 // (dst[len-1] is the last pushed sample). Positions never pushed read as
 // zero, matching the reset state. len(dst) must not exceed NumTaps.
 func (f *FIR) Recent(dst []complex128) {
-	if len(dst) > len(f.line) {
+	if len(dst) > len(f.taps) {
 		panic("dsp: Recent needs len(dst) <= NumTaps")
 	}
+	win := f.line[f.pos : f.pos+len(f.taps)]
 	for j := 0; j < len(dst); j++ {
-		idx := f.pos + j
-		if idx >= len(f.line) {
-			idx -= len(f.line)
-		}
-		dst[len(dst)-1-j] = f.line[idx]
+		dst[len(dst)-1-j] = win[j]
 	}
 }
 
@@ -96,19 +95,22 @@ func (f *FIR) Recent(dst []complex128) {
 // Recent/LoadRecent to keep the streaming state consistent with the
 // direct form across calls.
 func (f *FIR) LoadRecent(src []complex128) {
-	if len(src) != len(f.line) {
+	t := len(f.taps)
+	if len(src) != t {
 		panic("dsp: LoadRecent needs len(src) == NumTaps")
 	}
 	f.pos = 0
-	for j := range f.line {
-		f.line[j] = src[len(src)-1-j]
+	for j := 0; j < t; j++ {
+		v := src[t-1-j]
+		f.line[j] = v
+		f.line[j+t] = v
 	}
 }
 
 // Process filters a whole block, sample by sample, preserving state across
 // calls.
 func (f *FIR) Process(x []complex128) []complex128 {
-	y := make([]complex128, len(x))
+	y := make([]complex128, len(x)) //fflint:allow allocfree allocating convenience form; streaming block paths filter in place through pipeline.FIRStage
 	for i, v := range x {
 		y[i] = f.Push(v)
 	}

@@ -1,0 +1,50 @@
+package dsp_test
+
+import (
+	"testing"
+
+	"fastforward/internal/dsp"
+	"fastforward/internal/rng"
+)
+
+// BenchmarkFIRKernel isolates the 120-tap MAC inner loop: the per-sample
+// direct form (FIR.Process) against the planar SoA kernel, excluding the
+// pipeline layer's staging and conversion overhead.
+func BenchmarkFIRKernel(b *testing.B) {
+	const nTaps, nSamp = 120, 8192
+	src := rng.New(1)
+	taps := make([]complex128, nTaps)
+	for i := range taps {
+		taps[i] = src.ComplexGaussian(1.0 / nTaps)
+	}
+	x := src.NoiseVector(nSamp+nTaps-1, 1)
+
+	b.Run("push", func(b *testing.B) {
+		f := dsp.NewFIR(taps)
+		out := make([]complex128, nSamp)
+		b.ReportAllocs()
+		b.SetBytes(nSamp * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < nSamp; j++ {
+				out[j] = f.Push(x[j])
+			}
+		}
+	})
+	b.Run("soa", func(b *testing.B) {
+		hr := make([]float64, nTaps)
+		hi := make([]float64, nTaps)
+		dsp.Deinterleave(hr, hi, taps)
+		xr := make([]float64, len(x))
+		xi := make([]float64, len(x))
+		dsp.Deinterleave(xr, xi, x)
+		yr := make([]float64, nSamp)
+		yi := make([]float64, nSamp)
+		b.ReportAllocs()
+		b.SetBytes(nSamp * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dsp.FIRFilterSoA(yr, yi, xr, xi, hr, hi)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSoARoundTrip fuzzes the SoA↔AoS conversion boundary: any byte
+// string reinterpreted as float64 components — including NaNs with
+// arbitrary payloads, infinities, and unaligned (odd, non-power-of-two)
+// lengths — must survive Deinterleave→Interleave bit-for-bit. The
+// conversion is the trust boundary of every SoA fast path: if it altered
+// even a NaN payload, the fast path could no longer claim the direct
+// form's semantics.
+func FuzzSoARoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})
+	seed := make([]byte, 5*16)
+	binary.LittleEndian.PutUint64(seed[0:], math.Float64bits(math.NaN()))
+	binary.LittleEndian.PutUint64(seed[8:], math.Float64bits(math.Inf(1)))
+	binary.LittleEndian.PutUint64(seed[16:], math.Float64bits(math.Inf(-1)))
+	binary.LittleEndian.PutUint64(seed[24:], math.Float64bits(0))
+	binary.LittleEndian.PutUint64(seed[32:], 0x7ff8dead_beef0001) // NaN payload
+	binary.LittleEndian.PutUint64(seed[40:], math.Float64bits(1.5))
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 16
+		x := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:]))
+			x[i] = complex(re, im)
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		Deinterleave(re, im, x)
+		back := make([]complex128, n)
+		Interleave(back, re, im)
+		for i := range x {
+			gr := math.Float64bits(real(back[i]))
+			gi := math.Float64bits(imag(back[i]))
+			wr := math.Float64bits(real(x[i]))
+			wi := math.Float64bits(imag(x[i]))
+			if gr != wr || gi != wi {
+				t.Fatalf("round trip not bit-identical at %d: got (%#x,%#x) want (%#x,%#x)",
+					i, gr, gi, wr, wi)
+			}
+		}
+	})
+}

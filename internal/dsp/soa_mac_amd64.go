@@ -1,0 +1,18 @@
+//go:build amd64
+
+package dsp
+
+// firMAC4 accumulates four consecutive taps into yr/yi across the whole
+// block: for each i, yr[i]/yi[i] gain the tap contributions in ascending
+// tap order (h0 first), with each contribution computed as
+// hr*a − hi*b / hr*b + hi*a exactly like the direct form. xr/xi start at
+// the window of the LAST of the four taps (the earliest input sample);
+// tap j reads xr[i+3−j]. len(xr) and len(xi) must be ≥ len(yr)+3.
+//
+// The amd64 implementation is SSE2 (the Go amd64 baseline, so no feature
+// detection): two outputs per iteration with packed MULPD/ADDPD/SUBPD,
+// which are exact per-lane IEEE ops — no FMA contraction — so the result
+// is bit-identical to the generic Go body.
+//
+//go:noescape
+func firMAC4(yr, yi, xr, xi []float64, h0r, h0i, h1r, h1i, h2r, h2i, h3r, h3i float64)

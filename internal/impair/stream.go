@@ -120,7 +120,7 @@ func (st *Stream) quantize(v float64) float64 {
 
 // Process applies Push over a block, returning a new slice.
 func (st *Stream) Process(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
+	out := make([]complex128, len(x)) //fflint:allow allocfree allocating convenience form; the relay feedback loop drives Push per sample
 	for i, v := range x {
 		out[i] = st.Push(v)
 	}

@@ -1,0 +1,350 @@
+package pipeline_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fastforward/internal/obs"
+	"fastforward/internal/pipeline"
+	"fastforward/internal/rng"
+)
+
+func maxDiff(a, b []complex128) float64 {
+	var worst float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestSoAPathMatchesDirect holds the planar SoA fast path to 1e-9 of the
+// direct form across mixed block sizes: small blocks fall back to the
+// direct form inside the SoA-armed stage, so the shared delay-line state
+// hands off in both directions.
+func TestSoAPathMatchesDirect(t *testing.T) {
+	src := rng.New(19)
+	for _, ntaps := range []int{4, 17, 120} {
+		taps := randTaps(src, ntaps)
+		sig := testSignal(src, 4096)
+
+		direct := pipeline.NewFIRStage("direct", taps)
+		fast := pipeline.NewFIRStage("fast", taps)
+		fast.EnableSoA()
+		if !fast.SoAEnabled() {
+			t.Fatalf("SoA path did not arm for a %d-tap filter", ntaps)
+		}
+		if fast.FFTEnabled() {
+			t.Fatal("EnableSoA must not arm the FFT path")
+		}
+
+		want := make([]complex128, len(sig))
+		copy(want, sig)
+		direct.Process(want)
+
+		got := make([]complex128, len(sig))
+		copy(got, sig)
+		pos := 0
+		// 7 and 17 ride the direct form (below minSoABlock); the rest take
+		// the planar kernel.
+		for _, n := range []int{64, 7, 1000, 17, 2048, 900} {
+			fast.Process(got[pos : pos+n])
+			pos += n
+		}
+		fast.Process(got[pos:])
+
+		if worst := maxDiff(got, want); worst > 1e-9 {
+			t.Fatalf("%d taps: SoA path diverges from direct form by %g (budget 1e-9)", ntaps, worst)
+		}
+	}
+}
+
+// TestSoABlockCounter checks the planar path reports through
+// pipeline.soa_blocks.
+func TestSoABlockCounter(t *testing.T) {
+	src := rng.New(23)
+	taps := randTaps(src, 32)
+	sig := testSignal(src, 512)
+
+	st := pipeline.NewFIRStage("fir", taps)
+	st.EnableSoA()
+	ch := pipeline.NewChain("soa", st)
+	reg := obs.New()
+	ch.Instrument(pipeline.NewObs(reg), 0)
+
+	ch.Process(sig[:256])    // planar
+	ch.Process(sig[256:264]) // below minSoABlock: direct
+	ch.Process(sig[264:])    // planar
+
+	if got := reg.Counter("pipeline.soa_blocks", "blocks").Value(); got != 2 {
+		t.Fatalf("pipeline.soa_blocks = %d, want 2", got)
+	}
+}
+
+// TestCancelSoAMatchesDirect exercises the cancel stage's planar branch
+// (filter the reference and subtract without leaving the planar domain).
+func TestCancelSoAMatchesDirect(t *testing.T) {
+	src := rng.New(29)
+	taps := randTaps(src, 64)
+	sig := testSignal(src, 2000)
+	ref := testSignal(src, 2000)
+
+	run := func(soa bool) []complex128 {
+		c := pipeline.NewCancelStage("cancel", taps)
+		if soa {
+			c.EnableSoA()
+			if !c.SoAEnabled() {
+				t.Fatal("cancel SoA path did not arm")
+			}
+		}
+		c.SetReference(ref)
+		out := make([]complex128, len(sig))
+		copy(out, sig)
+		pos := 0
+		for _, n := range []int{512, 9, 700, 41, 500} {
+			c.Process(out[pos : pos+n])
+			pos += n
+		}
+		c.Process(out[pos:])
+		return out
+	}
+
+	want := run(false)
+	got := run(true)
+	if worst := maxDiff(got, want); worst > 1e-9 {
+		t.Fatalf("cancel SoA path diverges by %g (budget 1e-9)", worst)
+	}
+}
+
+// TestCFOFastRotatorMatchesDirect holds the incremental rotator (with its
+// periodic phase resync) to 1e-9 of the per-sample cmplx.Exp form, across
+// Reset and mixed segmentation.
+func TestCFOFastRotatorMatchesDirect(t *testing.T) {
+	step := 2 * math.Pi * 1500 / 20e6
+	src := rng.New(31)
+	sig := testSignal(src, 3000)
+
+	run := func(fast bool) []complex128 {
+		st := pipeline.NewCFOStage("cfo", step)
+		if fast {
+			st.EnableFastPath()
+		}
+		out := make([]complex128, len(sig))
+		copy(out, sig)
+		pos := 0
+		for _, n := range []int{1, 255, 256, 257, 1000} {
+			st.Process(out[pos : pos+n])
+			pos += n
+		}
+		st.Process(out[pos:])
+		// Reset must rewind the phase on both paths.
+		st.Reset()
+		st.Process(out[:8])
+		copy(out[:8], sig[:8])
+		return out
+	}
+
+	want := run(false)
+	got := run(true)
+	if worst := maxDiff(got, want); worst > 1e-9 {
+		t.Fatalf("fast rotator diverges by %g (budget 1e-9)", worst)
+	}
+}
+
+// TestChainFastPathMatchesDirect arms every fast path on a relay-shaped
+// chain at once and holds the result to 1e-9 of the all-direct chain.
+func TestChainFastPathMatchesDirect(t *testing.T) {
+	src := rng.New(37)
+	taps := randTaps(src, 120)
+	pre := randTaps(src, 16)
+	sig := testSignal(src, 4096)
+	ref := testSignal(src, 4096)
+
+	run := func(fast bool) []complex128 {
+		ch, cancel := buildChain(taps, pre, 2*math.Pi*1500/20e6)
+		if fast {
+			ch.EnableFastPath()
+		}
+		cancel.SetReference(ref)
+		out := make([]complex128, len(sig))
+		copy(out, sig)
+		for pos := 0; pos < len(out); pos += 1024 {
+			ch.Process(out[pos : pos+1024])
+		}
+		return out
+	}
+
+	want := run(false)
+	got := run(true)
+	if worst := maxDiff(got, want); worst > 1e-9 {
+		t.Fatalf("chain fast path diverges by %g (budget 1e-9)", worst)
+	}
+}
+
+// buildSessions constructs n identical-shape session chains with
+// per-session taps, the way the multi-session sweep does.
+func buildSessions(seed int64, n, ntaps, npre, blockLen int) ([]*pipeline.Chain, []*pipeline.CancelStage, [][]complex128, [][]complex128) {
+	chains := make([]*pipeline.Chain, n)
+	cancels := make([]*pipeline.CancelStage, n)
+	txs := make([][]complex128, n)
+	rxs := make([][]complex128, n)
+	for i := 0; i < n; i++ {
+		src := rng.New(rng.ItemSeed(seed, i))
+		chains[i], cancels[i] = buildChain(randTaps(src, ntaps), randTaps(src, npre), 0.003)
+		txs[i] = testSignal(src, blockLen)
+		rxs[i] = testSignal(src, blockLen)
+	}
+	return chains, cancels, txs, rxs
+}
+
+// TestBatchMatchesSequential proves the batched executor is bit-identical
+// to advancing the same chains one by one: the stage sweep reorders which
+// stage runs when across sessions, but each chain's state is private, so
+// every sample is computed by the same operations in the same order.
+// Runs on both the direct and fast paths, instrumented.
+func TestBatchMatchesSequential(t *testing.T) {
+	const (
+		nSessions = 4
+		blockLen  = 256
+		nBlocks   = 8
+	)
+	for _, fast := range []bool{false, true} {
+		// Sequential reference.
+		seqChains, seqCancels, txs, rxs := buildSessions(97, nSessions, 48, 9, blockLen)
+		seqOut := make([][]complex128, nSessions)
+		seqReg := obs.New()
+		seqObs := pipeline.NewObs(seqReg)
+		for i, ch := range seqChains {
+			ch.Instrument(seqObs, 0)
+			if fast {
+				ch.EnableFastPath()
+			}
+			seqOut[i] = make([]complex128, blockLen)
+		}
+		// Batched run over identically-seeded chains.
+		batChains, batCancels, _, _ := buildSessions(97, nSessions, 48, 9, blockLen)
+		batch := pipeline.NewBatch("bat", batChains...)
+		batReg := obs.New()
+		batch.Instrument(pipeline.NewObs(batReg), 0)
+		if fast {
+			batch.EnableFastPath()
+		}
+		blocks := make([][]complex128, nSessions)
+		for i := range blocks {
+			blocks[i] = make([]complex128, blockLen)
+		}
+
+		for blk := 0; blk < nBlocks; blk++ {
+			for i := 0; i < nSessions; i++ {
+				copy(seqOut[i], rxs[i])
+				seqCancels[i].SetReference(txs[i])
+				seqChains[i].Process(seqOut[i])
+
+				copy(blocks[i], rxs[i])
+				batCancels[i].SetReference(txs[i])
+			}
+			batch.ProcessAll(blocks)
+			for i := 0; i < nSessions; i++ {
+				for j := range blocks[i] {
+					if blocks[i][j] != seqOut[i][j] {
+						t.Fatalf("fast=%v block %d session %d sample %d: batch %v, sequential %v (bit-exact)",
+							fast, blk, i, j, blocks[i][j], seqOut[i][j])
+					}
+				}
+			}
+		}
+
+		// The batch records the same block/sample totals as the sequential
+		// chains, plus its sweep counters.
+		for _, m := range []struct {
+			name, unit string
+			want       uint64
+		}{
+			{"pipeline.blocks", "blocks", nSessions * nBlocks},
+			{"pipeline.samples", "samples", nSessions * nBlocks * blockLen},
+			{"pipeline.batch.sweeps", "sweeps", nBlocks},
+			{"pipeline.batch.sessions", "blocks", nSessions * nBlocks},
+		} {
+			if got := batReg.Counter(m.name, m.unit).Value(); got != m.want {
+				t.Fatalf("fast=%v: %s = %d, want %d", fast, m.name, got, m.want)
+			}
+		}
+		if got := seqReg.Counter("pipeline.blocks", "blocks").Value(); got != nSessions*nBlocks {
+			t.Fatalf("sequential pipeline.blocks = %d, want %d", got, nSessions*nBlocks)
+		}
+	}
+}
+
+// TestBatchStageCountMismatch pins the lockstep precondition.
+func TestBatchStageCountMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBatch accepted chains with unequal stage counts")
+		}
+	}()
+	a := pipeline.NewChain("a", pipeline.NewGainStage("g", 1))
+	b := pipeline.NewChain("b", pipeline.NewGainStage("g", 1), pipeline.NewGainStage("g2", 1))
+	pipeline.NewBatch("bad", a, b)
+}
+
+// TestBlockPool checks Get returns zeroed blocks and reuses recycled
+// capacity.
+func TestBlockPool(t *testing.T) {
+	var p pipeline.BlockPool
+	b := p.Get(64)
+	if len(b) != 64 {
+		t.Fatalf("Get(64) len = %d", len(b))
+	}
+	for i := range b {
+		b[i] = complex(1, 1)
+	}
+	p.Put(b)
+	c := p.Get(32)
+	if cap(c) < 64 {
+		t.Fatal("Get did not reuse the recycled block")
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("recycled block not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+// TestSessionSweep smoke-tests the real-time search on a tiny config:
+// the probe sequence must bracket the answer and the gauge must publish.
+func TestSessionSweep(t *testing.T) {
+	reg := obs.New()
+	res := pipeline.RunSessionSweep(reg, pipeline.SessionConfig{
+		BlockSamples:  256,
+		CancelTaps:    8,
+		CNFTaps:       4,
+		Seed:          5,
+		WarmSweeps:    1,
+		MeasureSweeps: 2,
+		MaxSessions:   8,
+		FastPath:      true,
+	})
+	if len(res.Probes) == 0 {
+		t.Fatal("sweep recorded no probes")
+	}
+	if res.Sessions < 0 || res.Sessions > 8 {
+		t.Fatalf("Sessions = %d, want 0..8", res.Sessions)
+	}
+	if res.DeadlineNS != 256/20e6*1e9 {
+		t.Fatalf("DeadlineNS = %g", res.DeadlineNS)
+	}
+	g, ok := reg.Gauge("pipeline.sessions_per_core", "sessions").Value()
+	if !ok {
+		t.Fatal("pipeline.sessions_per_core gauge not set")
+	}
+	if g != float64(res.Sessions) {
+		t.Fatalf("gauge = %g, want %d", g, res.Sessions)
+	}
+	for _, p := range res.Probes {
+		if p.RealTime != (p.NSPerSweep <= res.DeadlineNS) {
+			t.Fatalf("probe %+v inconsistent with deadline %g", p, res.DeadlineNS)
+		}
+	}
+}

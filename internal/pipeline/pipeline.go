@@ -56,10 +56,16 @@ type Obs struct {
 	// FFTBlocks counts blocks that took a stage's overlap-save FFT fast
 	// path rather than the direct form.
 	FFTBlocks *obs.Counter
+	// SOABlocks counts blocks that took a stage's planar SoA fast path.
+	SOABlocks *obs.Counter
 	// Latency distributes chain end-to-end latencies seen by CheckBudget.
 	Latency *obs.Histogram
 	// Violations counts CheckBudget calls whose chain exceeded the budget.
 	Violations *obs.Counter
+	// BatchSweeps counts Batch.ProcessAll stage sweeps; BatchSessions
+	// counts the session-blocks those sweeps advanced.
+	BatchSweeps   *obs.Counter
+	BatchSessions *obs.Counter
 
 	reg *obs.Registry
 }
@@ -71,12 +77,15 @@ func NewObs(reg *obs.Registry) *Obs {
 		return nil
 	}
 	return &Obs{
-		Blocks:     reg.Counter("pipeline.blocks", "blocks"),
-		Samples:    reg.Counter("pipeline.samples", "samples"),
-		FFTBlocks:  reg.Counter("pipeline.fft_blocks", "blocks"),
-		Latency:    reg.Histogram("pipeline.latency_samples", "samples", obs.LinearBuckets(0, 2, 17)),
-		Violations: reg.Counter("pipeline.budget_violations", "chains"),
-		reg:        reg,
+		Blocks:        reg.Counter("pipeline.blocks", "blocks"),
+		Samples:       reg.Counter("pipeline.samples", "samples"),
+		FFTBlocks:     reg.Counter("pipeline.fft_blocks", "blocks"),
+		SOABlocks:     reg.Counter("pipeline.soa_blocks", "blocks"),
+		Latency:       reg.Histogram("pipeline.latency_samples", "samples", obs.LinearBuckets(0, 2, 17)),
+		Violations:    reg.Counter("pipeline.budget_violations", "chains"),
+		BatchSweeps:   reg.Counter("pipeline.batch.sweeps", "sweeps"),
+		BatchSessions: reg.Counter("pipeline.batch.sessions", "blocks"),
+		reg:           reg,
 	}
 }
 
@@ -84,6 +93,19 @@ func NewObs(reg *obs.Registry) *Obs {
 // Chain.Instrument can hand them the FFTBlocks counter.
 type fftObservable interface {
 	setFFTObs(c *obs.Counter, shard int)
+}
+
+// soaObservable is implemented by stages with a planar SoA fast path.
+type soaObservable interface {
+	setSoAObs(c *obs.Counter, shard int)
+}
+
+// FastPather is any stage (or chain) with an opt-in fast path held to
+// ≤1e-9 of its direct form: the overlap-save FFT convolution, the planar
+// SoA kernels, the CFO incremental rotator. Golden-pinned paths never
+// arm it; the real-time multi-session path always does.
+type FastPather interface {
+	EnableFastPath()
 }
 
 // Chain composes stages into one Stage: the block flows through the
@@ -136,6 +158,13 @@ func (c *Chain) Instrument(o *Obs, shard int) {
 				fo.setFFTObs(nil, 0)
 			}
 		}
+		if so, ok := st.(soaObservable); ok {
+			if o != nil {
+				so.setSoAObs(o.SOABlocks, shard)
+			} else {
+				so.setSoAObs(nil, 0)
+			}
+		}
 	}
 	if o == nil || o.reg == nil {
 		return
@@ -170,6 +199,18 @@ func (c *Chain) Process(block []complex128) []complex128 {
 func (c *Chain) Reset() {
 	for _, st := range c.stages {
 		st.Reset()
+	}
+}
+
+// EnableFastPath arms the opt-in fast paths on every capable stage
+// (nested chains included): FFT convolution and SoA kernels on filter
+// stages, the incremental rotator on CFO stages. Output stays within
+// 1e-9 of the direct form; golden-pinned chains must not call this.
+func (c *Chain) EnableFastPath() {
+	for _, st := range c.stages {
+		if fp, ok := st.(FastPather); ok {
+			fp.EnableFastPath()
+		}
 	}
 }
 

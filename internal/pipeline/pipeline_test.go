@@ -389,10 +389,10 @@ func TestOvsaveStateHandoff(t *testing.T) {
 	st := pipeline.NewFIRStage("mix", taps)
 	st.EnableFFT()
 	got := append([]complex128(nil), sig...)
-	st.Process(got[:10])    // direct (below minBlock)
-	st.Process(got[10:700]) // FFT
+	st.Process(got[:10])     // direct (below minBlock)
+	st.Process(got[10:700])  // FFT
 	st.Process(got[700:710]) // direct again
-	st.Process(got[710:])   // FFT
+	st.Process(got[710:])    // FFT
 	var worst float64
 	for i := range ref {
 		if d := cmplx.Abs(got[i] - ref[i]); d > worst {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"math"
 	"math/cmplx"
 
 	"fastforward/internal/dsp"
@@ -10,14 +11,19 @@ import (
 // FIRStage is a causal streaming FIR filter stage (zero buffering delay:
 // tap 0 applies to the current sample, as the paper's digital canceller
 // requires, Fig 9a). The default path is the direct form — bit-identical
-// to dsp.FIR.Push — and EnableFFT switches block processing onto an
-// overlap-save FFT convolution that shares the same delay-line state, so
-// the two paths mix freely across calls.
+// to dsp.FIR.Push. Two opt-in fast paths share the same delay-line state
+// and so mix freely with it across calls: EnableFFT arms overlap-save
+// FFT convolution (long filters), EnableSoA arms the planar
+// structure-of-arrays MAC kernel (short filters, small blocks). When
+// both are armed and eligible the cheaper one wins: planar MAC below
+// soaFFTCrossoverTaps, overlap-save at or above it.
 type FIRStage struct {
 	name      string
 	fir       *dsp.FIR
 	ov        *ovSave
+	soa       *soaFIR
 	fftBlocks *obs.Counter
+	soaBlocks *obs.Counter
 	shard     int
 }
 
@@ -50,20 +56,66 @@ func (s *FIRStage) EnableFFT() {
 // FFTEnabled reports whether the fast path is armed.
 func (s *FIRStage) FFTEnabled() bool { return s.ov != nil }
 
+// EnableSoA arms the planar structure-of-arrays fast path for block
+// processing (≤1e-9 of the direct form; see DESIGN.md §9). Blocks
+// shorter than minSoABlock, and all Push calls, keep the direct form.
+// No-op for filters too short to gain from it.
+func (s *FIRStage) EnableSoA() {
+	if s.soa == nil && s.fir.NumTaps() >= minSoATaps {
+		s.soa = newSoAFIR(s.fir.Taps())
+	}
+}
+
+// SoAEnabled reports whether the planar fast path is armed.
+func (s *FIRStage) SoAEnabled() bool { return s.soa != nil }
+
+// EnableFastPath arms every fast path the filter length supports —
+// overlap-save FFT for long filters, the planar SoA kernel otherwise.
+func (s *FIRStage) EnableFastPath() {
+	s.EnableFFT()
+	s.EnableSoA()
+}
+
 func (s *FIRStage) setFFTObs(c *obs.Counter, shard int) {
 	s.fftBlocks = c
+	s.shard = shard
+}
+
+func (s *FIRStage) setSoAObs(c *obs.Counter, shard int) {
+	s.soaBlocks = c
 	s.shard = shard
 }
 
 // Push filters one sample through the direct form.
 func (s *FIRStage) Push(x complex128) complex128 { return s.fir.Push(x) }
 
+// useFFT decides whether an n-sample block takes the overlap-save path:
+// it must be armed and eligible, and when the planar MAC is also armed
+// and eligible the filter must be long enough for frequency-domain
+// convolution to beat it (soaFFTCrossoverTaps).
+func (s *FIRStage) useFFT(n int) bool {
+	if s.ov == nil || n < s.ov.minBlock {
+		return false
+	}
+	if s.soa != nil && n >= s.soa.minBlock && s.fir.NumTaps() < soaFFTCrossoverTaps {
+		return false
+	}
+	return true
+}
+
 // Process filters the block in place.
 func (s *FIRStage) Process(block []complex128) []complex128 {
-	if s.ov != nil && len(block) >= s.ov.minBlock {
+	if s.useFFT(len(block)) {
 		s.ov.filter(s.fir, block)
 		if s.fftBlocks != nil {
 			s.fftBlocks.Inc(s.shard)
+		}
+		return block
+	}
+	if s.soa != nil && len(block) >= s.soa.minBlock {
+		s.soa.filter(s.fir, block)
+		if s.soaBlocks != nil {
+			s.soaBlocks.Inc(s.shard)
 		}
 		return block
 	}
@@ -88,6 +140,10 @@ type CancelStage struct {
 	fir  *FIRStage
 	ref  []complex128
 	est  []complex128
+	// br/bi hold the received block in planar form on the SoA path, so
+	// the estimate subtracts without leaving the planar domain (one
+	// conversion pass each way per block). Grow once, reused.
+	br, bi []float64
 }
 
 // NewCancelStage builds the canceller from estimated leakage taps.
@@ -110,7 +166,19 @@ func (s *CancelStage) EnableFFT() { s.fir.EnableFFT() }
 // FFTEnabled reports whether the fast path is armed.
 func (s *CancelStage) FFTEnabled() bool { return s.fir.FFTEnabled() }
 
+// EnableSoA arms the planar fast path: the reference filters through the
+// SoA MAC kernel and subtracts from the block in the planar domain.
+func (s *CancelStage) EnableSoA() { s.fir.EnableSoA() }
+
+// SoAEnabled reports whether the planar fast path is armed.
+func (s *CancelStage) SoAEnabled() bool { return s.fir.SoAEnabled() }
+
+// EnableFastPath arms every fast path the canceller length supports.
+func (s *CancelStage) EnableFastPath() { s.fir.EnableFastPath() }
+
 func (s *CancelStage) setFFTObs(c *obs.Counter, shard int) { s.fir.setFFTObs(c, shard) }
+
+func (s *CancelStage) setSoAObs(c *obs.Counter, shard int) { s.fir.setSoAObs(c, shard) }
 
 // SetReference supplies the transmitted samples the following Process
 // calls cancel against. The slice is consumed, not copied: keep it alive
@@ -130,6 +198,26 @@ func (s *CancelStage) Process(block []complex128) []complex128 {
 	}
 	ref := s.ref[:len(block)]
 	s.ref = s.ref[len(block):]
+	// Planar path: filter the reference through the SoA MAC and subtract
+	// before converting back — one interleave round trip for the whole
+	// stage. Skipped when the stage's arbitration picks overlap-save
+	// (filters past the crossover convolve faster in the frequency
+	// domain).
+	if o := s.fir.soa; o != nil && len(block) >= o.minBlock && !s.fir.useFFT(len(block)) {
+		er, ei := o.filterPlanar(s.fir.fir, ref)
+		if cap(s.br) < len(block) {
+			s.br = make([]float64, len(block))
+			s.bi = make([]float64, len(block))
+		}
+		br, bi := s.br[:len(block)], s.bi[:len(block)]
+		dsp.Deinterleave(br, bi, block)
+		dsp.SubInPlaceSoA(br, bi, er, ei)
+		dsp.Interleave(block, br, bi)
+		if s.fir.soaBlocks != nil {
+			s.fir.soaBlocks.Inc(s.fir.shard)
+		}
+		return block
+	}
 	if cap(s.est) < len(block) {
 		s.est = make([]complex128, len(block))
 	}
@@ -153,10 +241,22 @@ func (s *CancelStage) Reset() {
 // step removes a carrier-frequency offset; the positive step restores it
 // (Sec 4.1). Accumulating the signed step reproduces the relay's shared
 // phase accumulator bit-exactly (IEEE negation distributes over addition).
+//
+// The default path evaluates cmplx.Exp per sample — the bit-exact
+// reference. EnableFastPath arms an incremental phasor: one complex
+// multiply per sample with a sin/cos resync every rotResync samples,
+// held to ≤1e-9 of the direct form. The phase accumulator advances
+// identically on both paths, so they mix freely across calls.
 type CFOStage struct {
 	name  string
 	step  float64
 	phase float64
+	// fast-rotator state: w = exp(j·phase) for the next sample, rot =
+	// exp(j·step), cnt counts recurrence steps since the last resync.
+	fast           bool
+	wCos, wSin     float64
+	rotCos, rotSin float64
+	cnt            int
 }
 
 // NewCFOStage builds a rotator advancing by stepRad per sample.
@@ -170,8 +270,30 @@ func (s *CFOStage) Name() string { return s.name }
 // LatencySamples is 0.
 func (s *CFOStage) LatencySamples() int { return 0 }
 
+// EnableFastPath arms the incremental rotator (≤1e-9 of the direct
+// form): per-sample cmplx.Exp becomes one complex multiply, the cost
+// that dominates the relay's per-sample forward chain.
+func (s *CFOStage) EnableFastPath() {
+	s.fast = true
+	s.rotSin, s.rotCos = math.Sincos(s.step)
+	s.resync()
+}
+
+// FastEnabled reports whether the incremental rotator is armed.
+func (s *CFOStage) FastEnabled() bool { return s.fast }
+
+// resync recomputes the phasor from the exactly accumulated phase,
+// zeroing the recurrence drift.
+func (s *CFOStage) resync() {
+	s.wSin, s.wCos = math.Sincos(s.phase)
+	s.cnt = 0
+}
+
 // Process rotates the block in place.
 func (s *CFOStage) Process(block []complex128) []complex128 {
+	if s.fast {
+		return s.processFast(block)
+	}
 	for i := range block {
 		block[i] *= cmplx.Exp(complex(0, s.phase))
 		s.phase += s.step
@@ -179,8 +301,38 @@ func (s *CFOStage) Process(block []complex128) []complex128 {
 	return block
 }
 
-// Reset rewinds the phase accumulator.
-func (s *CFOStage) Reset() { s.phase = 0 }
+func (s *CFOStage) processFast(block []complex128) []complex128 {
+	wCos, wSin := s.wCos, s.wSin
+	rotCos, rotSin := s.rotCos, s.rotSin
+	phase, step := s.phase, s.step
+	cnt := s.cnt
+	for i := range block {
+		a, b := real(block[i]), imag(block[i])
+		block[i] = complex(a*wCos-b*wSin, a*wSin+b*wCos)
+		phase += step
+		cnt++
+		if cnt == rotResync {
+			wSin, wCos = math.Sincos(phase)
+			cnt = 0
+		} else {
+			nc := wCos*rotCos - wSin*rotSin
+			ns := wCos*rotSin + wSin*rotCos
+			wCos, wSin = nc, ns
+		}
+	}
+	s.wCos, s.wSin = wCos, wSin
+	s.phase = phase
+	s.cnt = cnt
+	return block
+}
+
+// Reset rewinds the phase accumulator (and the fast rotator with it).
+func (s *CFOStage) Reset() {
+	s.phase = 0
+	if s.fast {
+		s.resync()
+	}
+}
 
 // GainStage multiplies every sample by a fixed complex gain.
 type GainStage struct {
@@ -293,10 +445,10 @@ func NewLatencyMarker(name string, samples int) Stage {
 	return &markerStage{name: name, lat: samples}
 }
 
-func (s *markerStage) Name() string                          { return s.name }
-func (s *markerStage) LatencySamples() int                   { return s.lat }
+func (s *markerStage) Name() string                            { return s.name }
+func (s *markerStage) LatencySamples() int                     { return s.lat }
 func (s *markerStage) Process(block []complex128) []complex128 { return block }
-func (s *markerStage) Reset()                                {}
+func (s *markerStage) Reset()                                  {}
 
 // VecMulStage multiplies the stream element-wise against a fixed vector,
 // advancing a cursor across calls: sample n of the stream is scaled by

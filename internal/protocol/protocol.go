@@ -348,7 +348,7 @@ func (s *Session) DeliverData(payload []byte, mcs wifi.MCS, trials int, withRela
 				RxNoiseMW:            s.NoiseMW,
 				NoiseSource:          s.src.Fork(),
 			})
-			rx = dsp.Add(rx, s.ChRD.Apply(ff.Process(s.ChSR.Apply(wave))))
+			dsp.AddInPlace(rx, s.ChRD.Apply(ff.Process(s.ChSR.Apply(wave))))
 		}
 		rx = channel.AWGN(s.src, rx, s.NoiseMW)
 		if res, err := s.Codec.Decode(rx); err == nil && res.FCSOK {

@@ -152,8 +152,8 @@ func (r *MIMORelay) Process(incoming [][]complex128) [][]complex128 {
 		panic("relay: MIMORelay needs 2 equal-length streams")
 	}
 	out := [][]complex128{
-		make([]complex128, len(incoming[0])),
-		make([]complex128, len(incoming[0])),
+		make([]complex128, len(incoming[0])), //fflint:allow allocfree allocating convenience wrapper; hot paths call ProcessInto
+		make([]complex128, len(incoming[0])), //fflint:allow allocfree allocating convenience wrapper; hot paths call ProcessInto
 	}
 	r.ProcessInto(out, incoming)
 	return out

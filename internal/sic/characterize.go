@@ -90,7 +90,8 @@ func Characterize(src *rng.Source, cfg CharacterizeConfig, reg *obs.Registry) []
 		leak := make([]complex128, len(tx))
 		copy(leak, tx)
 		pipeline.NewFIRStage("sic_residual", residual).Process(leak)
-		rx := dsp.Add(leak, noise)
+		dsp.AddInPlace(leak, noise) // leak is locally owned: sum in place
+		rx := leak
 		c := Characterization{
 			AnalogDB:       analogDB,
 			UnquantizedDB:  a.LastTune.UnquantizedDB,

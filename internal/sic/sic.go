@@ -612,6 +612,14 @@ func (d *DigitalCanceller) Stage() *pipeline.CancelStage { return d.stage }
 // then agree with the direct form to floating round-off, not bit-exactly.
 func (d *DigitalCanceller) EnableFFT() { d.stage.EnableFFT() }
 
+// EnableSoA arms the planar structure-of-arrays fast path: the reference
+// filters through the SoA MAC kernel and subtracts without leaving the
+// planar domain. Same 1e-9 contract as EnableFFT.
+func (d *DigitalCanceller) EnableSoA() { d.stage.EnableSoA() }
+
+// EnableFastPath arms every fast path the canceller length supports.
+func (d *DigitalCanceller) EnableFastPath() { d.stage.EnableFastPath() }
+
 // Push consumes one transmitted sample and one received sample and returns
 // the cleaned received sample.
 func (d *DigitalCanceller) Push(tx, rx complex128) complex128 {
@@ -620,7 +628,7 @@ func (d *DigitalCanceller) Push(tx, rx complex128) complex128 {
 
 // Process cleans whole blocks (state is preserved across calls).
 func (d *DigitalCanceller) Process(tx, rx []complex128) []complex128 {
-	out := make([]complex128, len(rx))
+	out := make([]complex128, len(rx)) //fflint:allow allocfree allocating convenience wrapper; hot paths call ProcessInto with caller-owned buffers
 	d.ProcessInto(out, tx, rx)
 	return out
 }
