@@ -11,7 +11,7 @@
 GO ?= go
 SMOKE := .smoke
 
-.PHONY: all build test vet lint race check bench bench-allocs bench-sessions manifest-smoke fuzz-smoke
+.PHONY: all build test vet lint race check bench bench-allocs bench-sessions manifest-smoke daemon-smoke fuzz-smoke
 
 all: check
 
@@ -42,11 +42,11 @@ lint: build
 # (sic in -short mode: the long characterization sweeps are Short-gated,
 # the concurrent-registry tests are not).
 race:
-	$(GO) test -race ./internal/par ./internal/fft ./internal/ident ./internal/obs ./internal/pipeline
+	$(GO) test -race ./internal/par ./internal/fft ./internal/ident ./internal/obs ./internal/pipeline ./internal/relayd
 	$(GO) test -race -short ./internal/sic
 	$(GO) test -race -run 'Parallel|Slot|Determinism' ./internal/testbed
 
-check: test vet lint race manifest-smoke
+check: test vet lint race manifest-smoke daemon-smoke
 
 # Run every cmd binary with -manifest on a tiny configuration and
 # validate the JSON it writes; ffsim additionally must report nonzero
@@ -67,6 +67,16 @@ manifest-smoke: build
 	$(GO) run ./cmd/manifestcheck -require ident.locations,ident.packets $(SMOKE)/fingerprint.json
 	rm -rf $(SMOKE)
 
+# End-to-end daemon check (see OPERATIONS.md): one process starts a real
+# TCP ffrelayd, streams two concurrent bit-verified sessions, provokes a
+# Sec 3.5 budget refusal, scrapes the status endpoint, drains cleanly,
+# and writes a manifest whose relayd.* metrics must all be present.
+daemon-smoke: build
+	rm -rf $(SMOKE) && mkdir -p $(SMOKE)
+	$(GO) run ./cmd/ffrelayd -mode smoke -manifest $(SMOKE)/relayd.json
+	$(GO) run ./cmd/manifestcheck -require relayd.sessions_admitted,relayd.sessions_completed,relayd.sessions_refused.budget,relayd.frames_in,relayd.frames_out,relayd.amp_granted_db $(SMOKE)/relayd.json
+	rm -rf $(SMOKE)
+
 # Short fuzz runs over every fuzz target (go accepts one -fuzz target per
 # invocation). Seed corpora make even short runs meaningful; CI runs this
 # with the default budget. Override with e.g. FUZZTIME=2m.
@@ -79,6 +89,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDetect$$' -fuzztime $(FUZZTIME) ./internal/ident
 	$(GO) test -run '^$$' -fuzz '^FuzzChainSegmentation$$' -fuzztime $(FUZZTIME) ./internal/pipeline
 	$(GO) test -run '^$$' -fuzz '^FuzzSoARoundTrip$$' -fuzztime $(FUZZTIME) ./internal/dsp
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/relayd
 
 # Record the perf baseline (see EXPERIMENTS.md "Performance baseline").
 # The pipeline micro-benchmarks (relay block path + SIC filter direct vs

@@ -69,6 +69,8 @@ type Diagnostic struct {
 	Message  string
 }
 
+// String renders the finding in the conventional
+// file:line:col: analyzer: message compiler format.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }

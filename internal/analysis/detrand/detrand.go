@@ -10,7 +10,8 @@
 //  1. Wall clock: calls to time.Now / time.Since / time.Until are
 //     forbidden everywhere except explicitly allowlisted packages
 //     (cmd/internal/runmeta stamps manifests with real timestamps by
-//     design) and `//fflint:allow detrand <reason>` sites.
+//     design; internal/relayd and cmd/ffrelayd run connection deadlines
+//     and backoff) and `//fflint:allow detrand <reason>` sites.
 //
 //  2. Global rand: package-level math/rand draws (rand.Float64,
 //     rand.Intn, rand.Shuffle, ...) read a process-global sequential
@@ -52,7 +53,14 @@ var defaultSweep = []string{
 	"internal/pipeline",
 }
 
-var defaultWallClock = []string{"cmd/internal/runmeta"}
+// The relay daemon and its binary are allowlisted for the wall clock:
+// connection deadlines, idle eviction, token-bucket sleeps, and reconnect
+// backoff are genuinely temporal. The sample path stays deterministic —
+// relayd feeds blocks through internal/pipeline, which remains fully
+// covered by all three rules.
+var defaultWallClock = []string{
+	"cmd/internal/runmeta", "internal/relayd", "cmd/ffrelayd",
+}
 
 // forbiddenTime are the wall-clock reads; time.Sleep is scheduling, not
 // data, and the sweep packages have no business calling it either, so it

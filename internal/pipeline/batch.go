@@ -18,13 +18,24 @@ import (
 // All chains must have the same number of stages (the multi-session
 // deployment shape: one relay chain per 20 MHz session). ProcessAll is
 // allocation-free at steady state.
+//
+// Membership can change at run time (the relay daemon's session
+// lifecycle): NewDynamicBatch starts empty, Add admits a session chain,
+// Remove retires one, and ProcessSome sweeps any subset of admitted
+// chains. Membership mutations and sweeps touching the same chain must
+// be ordered by the caller (the daemon orders them through its executor
+// channel); sweeps never read the membership slice, so Add/Remove for
+// one session may overlap another session's sweep.
 type Batch struct {
-	name   string
-	chains []*Chain
-	o      *Obs
-	shard  int
-	// timers[i] times stage position i across all sessions; named after
-	// the first chain's stage names.
+	name string
+	// stageNames fixes the stage-position layout every member chain must
+	// match; timers are named after it.
+	stageNames []string
+	chains     []*Chain
+	fastPath   bool
+	o          *Obs
+	shard      int
+	// timers[i] times stage position i across all sessions.
 	timers []*obs.StageTimer
 }
 
@@ -35,13 +46,66 @@ func NewBatch(name string, chains ...*Chain) *Batch {
 	if len(chains) == 0 {
 		panic("pipeline: NewBatch needs at least one chain")
 	}
-	n := len(chains[0].stages)
-	for _, c := range chains[1:] {
-		if len(c.stages) != n {
-			panic("pipeline: NewBatch chains must have equal stage counts")
+	names := make([]string, len(chains[0].stages))
+	for i, st := range chains[0].stages {
+		names[i] = st.Name()
+	}
+	b := &Batch{name: name, stageNames: names}
+	for _, c := range chains {
+		b.Add(c)
+	}
+	return b
+}
+
+// NewDynamicBatch builds an empty batched executor whose member chains
+// come and go at run time. stageNames fixes the sweep layout: every
+// chain Added later must have exactly len(stageNames) stages, and the
+// per-position wall-clock timers are named after it
+// (pipeline.<batch>.<stageNames[i]>).
+func NewDynamicBatch(name string, stageNames ...string) *Batch {
+	if len(stageNames) == 0 {
+		panic("pipeline: NewDynamicBatch needs at least one stage name")
+	}
+	return &Batch{name: name, stageNames: append([]string(nil), stageNames...)}
+}
+
+// Add admits a session chain into the batch: its stage count must match
+// the batch layout. The chain inherits the batch's instrumentation (its
+// own block counters and timers are detached so batched sweeps are not
+// double-counted) and, when the batch's fast paths are armed, its fast
+// paths are armed too.
+func (b *Batch) Add(c *Chain) {
+	if len(c.stages) != len(b.stageNames) {
+		panic("pipeline: Batch.Add chain stage count does not match the batch layout")
+	}
+	b.chains = append(b.chains, c)
+	b.wireChain(c)
+	if b.fastPath {
+		c.EnableFastPath()
+	}
+}
+
+// Remove retires a session chain (matched by identity), preserving the
+// order of the rest. Reports whether the chain was a member. The chain's
+// streaming state is left untouched — a caller draining a session can
+// keep processing it solo.
+func (b *Batch) Remove(c *Chain) bool {
+	for i, m := range b.chains {
+		if m == c {
+			b.chains = append(b.chains[:i], b.chains[i+1:]...)
+			return true
 		}
 	}
-	return &Batch{name: name, chains: chains}
+	return false
+}
+
+// wireChain attaches the batch's instrumentation to one member chain:
+// stage-level fast-path counters stay, per-chain block counters and
+// timers are detached (the batch records for all of its sessions).
+func (b *Batch) wireChain(c *Chain) {
+	c.Instrument(b.o, b.shard)
+	c.o = nil
+	c.timers = nil
 }
 
 // Name returns the batch name.
@@ -56,33 +120,30 @@ func (b *Batch) Chains() []*Chain { return b.chains }
 // Instrument attaches pipeline.* metrics on the given shard: the block
 // and sample counters plus the batch sweep counters, fast-path counters
 // on every capable stage, and one wall-clock timer per stage position
-// (pipeline.<batch>.<stage>, stage names from the first chain). Nil o
-// detaches. Per-chain instrumentation is cleared: the batch records for
-// all of its sessions.
+// (pipeline.<batch>.<stageNames[i]>). Nil o detaches. Per-chain
+// instrumentation is cleared: the batch records for all of its sessions.
+// Chains Added later inherit the same wiring. Must not run concurrently
+// with sweeps.
 func (b *Batch) Instrument(o *Obs, shard int) {
 	b.o = o
 	b.shard = shard
 	b.timers = nil
 	for _, c := range b.chains {
-		// Wire stage-level fast-path counters through the chain hook, then
-		// detach the chain's own block counters and timers so batched
-		// sweeps are not double-counted.
-		c.Instrument(o, shard)
-		c.o = nil
-		c.timers = nil
+		b.wireChain(c)
 	}
 	if o == nil || o.reg == nil {
 		return
 	}
-	ref := b.chains[0]
-	b.timers = make([]*obs.StageTimer, len(ref.stages))
-	for i, st := range ref.stages {
-		b.timers[i] = o.reg.Timer("pipeline." + b.name + "." + st.Name())
+	b.timers = make([]*obs.StageTimer, len(b.stageNames))
+	for i, name := range b.stageNames {
+		b.timers[i] = o.reg.Timer("pipeline." + b.name + "." + name)
 	}
 }
 
-// EnableFastPath arms the fast paths on every session chain.
+// EnableFastPath arms the fast paths on every session chain, current and
+// future (chains Added later are armed on admission).
 func (b *Batch) EnableFastPath() {
+	b.fastPath = true
 	for _, c := range b.chains {
 		c.EnableFastPath()
 	}
@@ -95,6 +156,24 @@ func (b *Batch) ProcessAll(blocks [][]complex128) {
 	if len(blocks) != len(b.chains) {
 		panic("pipeline: ProcessAll needs one block per session")
 	}
+	b.ProcessSome(b.chains, blocks)
+}
+
+// ProcessSome advances the listed session chains by one block each
+// through one stage sweep: stage position 0 runs for every listed chain,
+// then position 1, and so on. The chains must have been Added (so their
+// instrumentation is wired) and each must appear at most once per call —
+// a chain's blocks stay ordered because its handler submits them one at
+// a time. This is the daemon's sweep entry point: sessions whose blocks
+// arrived together share one sweep, everyone else is simply absent from
+// it. Allocation-free.
+func (b *Batch) ProcessSome(chains []*Chain, blocks [][]complex128) {
+	if len(blocks) != len(chains) {
+		panic("pipeline: ProcessSome needs one block per chain")
+	}
+	if len(chains) == 0 {
+		return
+	}
 	if b.o != nil {
 		total := 0
 		for _, blk := range blocks {
@@ -105,11 +184,11 @@ func (b *Batch) ProcessAll(blocks [][]complex128) {
 		b.o.BatchSweeps.Inc(b.shard)
 		b.o.BatchSessions.Add(b.shard, uint64(len(blocks)))
 	}
-	nstages := len(b.chains[0].stages)
+	nstages := len(b.stageNames)
 	if b.timers != nil {
 		for si := 0; si < nstages; si++ {
 			start := obs.NowNanos()
-			for ci, c := range b.chains {
+			for ci, c := range chains {
 				blocks[ci] = c.stages[si].Process(blocks[ci])
 			}
 			b.timers[si].AddNS(obs.NowNanos() - start)
@@ -117,7 +196,7 @@ func (b *Batch) ProcessAll(blocks [][]complex128) {
 		return
 	}
 	for si := 0; si < nstages; si++ {
-		for ci, c := range b.chains {
+		for ci, c := range chains {
 			blocks[ci] = c.stages[si].Process(blocks[ci])
 		}
 	}

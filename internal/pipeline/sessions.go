@@ -99,28 +99,64 @@ type SessionResult struct {
 	Probes []SessionProbe
 }
 
-// newSessionChain builds one session's forward chain with taps drawn
-// from src. The cancel stage is returned separately because its
-// reference must be re-armed every block.
-func newSessionChain(cfg SessionConfig, src *rng.Source) (*Chain, *CancelStage) {
-	si := make([]complex128, cfg.CancelTaps)
+// SessionChainSpec shapes one relay session's forward chain: the Sec 3.3
+// digital canceller, CFO removal, the CNF pre-filter, CFO restoration,
+// and the relay amplifier. The session sweep and the relay daemon build
+// their per-session chains from the same spec so a daemon session is the
+// single-session pipeline path, stage for stage.
+type SessionChainSpec struct {
+	// CancelTaps / CNFTaps size the two filters; both must be positive.
+	CancelTaps int
+	CNFTaps    int
+	// CFOStepRad is the per-sample CFO rotation 2π·CFOHz/SampleRateHz.
+	CFOStepRad float64
+	// AmpGain is the relay amplifier's complex amplitude gain (a power
+	// amplification of A dB is complex(10^(A/20), 0)).
+	AmpGain complex128
+}
+
+// SessionStageNames lists the stage names of every NewSessionChain chain
+// in sweep order — the layout a dynamic Batch hosting session chains is
+// built over.
+func SessionStageNames() []string {
+	return []string{"cancel", "cfo_remove", "cnf_pre", "cfo_restore", "amp"}
+}
+
+// NewSessionChain builds one session's forward chain with synthetic
+// Rayleigh taps drawn from src (exponential power decay: 0.94^k for the
+// canceller's self-interference estimate, 0.8^k for the CNF pre-filter —
+// the repo's standard synthetic session model). The cancel stage is
+// returned separately because its reference must be re-armed every
+// block.
+func NewSessionChain(spec SessionChainSpec, src *rng.Source) (*Chain, *CancelStage) {
+	si := make([]complex128, spec.CancelTaps)
 	for k := range si {
 		si[k] = src.RayleighTap(math.Pow(0.94, float64(k)))
 	}
-	pre := make([]complex128, cfg.CNFTaps)
+	pre := make([]complex128, spec.CNFTaps)
 	for k := range pre {
 		pre[k] = src.RayleighTap(math.Pow(0.8, float64(k)))
 	}
-	step := 2 * math.Pi * cfg.CFOHz / cfg.SampleRateHz
 	cancel := NewCancelStage("cancel", si)
 	ch := NewChain("session",
 		cancel,
-		NewCFOStage("cfo_remove", -step),
+		NewCFOStage("cfo_remove", -spec.CFOStepRad),
 		NewFIRStage("cnf_pre", pre),
-		NewCFOStage("cfo_restore", step),
-		NewGainStage("amp", complex(math.Sqrt(10), 0)),
+		NewCFOStage("cfo_restore", spec.CFOStepRad),
+		NewGainStage("amp", spec.AmpGain),
 	)
 	return ch, cancel
+}
+
+// newSessionChain adapts the sweep config to the shared session spec
+// (the sweep's amplifier models a fixed 10 dB relay gain).
+func newSessionChain(cfg SessionConfig, src *rng.Source) (*Chain, *CancelStage) {
+	return NewSessionChain(SessionChainSpec{
+		CancelTaps: cfg.CancelTaps,
+		CNFTaps:    cfg.CNFTaps,
+		CFOStepRad: 2 * math.Pi * cfg.CFOHz / cfg.SampleRateHz,
+		AmpGain:    complex(math.Sqrt(10), 0),
+	}, src)
 }
 
 // measureSessions times batched sweeps over n sessions and returns the

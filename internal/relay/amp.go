@@ -27,6 +27,10 @@ const (
 	// AmpBoundFloor: every bound was negative, so amplification clamps to
 	// 0 dB (the relay cannot help at this placement).
 	AmpBoundFloor
+	// AmpBoundBudget: the aggregate multi-session admission budget was
+	// active — the grant was bisected below the session's own bounds so
+	// already-admitted sessions keep theirs (BudgetAccount.AdmitDegraded).
+	AmpBoundBudget
 )
 
 // String names the bound for metrics and manifests.
@@ -40,6 +44,8 @@ func (b AmpBound) String() string {
 		return "pa_limit"
 	case AmpBoundFloor:
 		return "floor"
+	case AmpBoundBudget:
+		return "budget"
 	}
 	return "unknown"
 }

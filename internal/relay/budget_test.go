@@ -1,0 +1,217 @@
+package relay
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// referenceSession is a mid-range placement: finite cancellation, enough
+// path loss for the noise rule to bind before the PA does.
+var referenceSession = SessionBudget{
+	CancellationDB: 80,
+	RDAttenDB:      60,
+	PAHeadroomDB:   40,
+	RxOverNoiseDB:  50,
+}
+
+// TestBudgetSingleSessionMatchesResidualRule pins the account to the
+// device-level rule: the first admission into an empty account must be
+// bit-identical to ChooseAmplificationResidualDB — the shared-floor bound
+// with zero external load IS the Sec 3.5 residual rule.
+func TestBudgetSingleSessionMatchesResidualRule(t *testing.T) {
+	cases := []SessionBudget{
+		referenceSession,
+		{CancellationDB: 60, RDAttenDB: 70, PAHeadroomDB: 25, RxOverNoiseDB: 65},
+		{CancellationDB: math.Inf(1), RDAttenDB: 55, PAHeadroomDB: 30, RxOverNoiseDB: 40}, // ideal canceller: β = 0
+		{CancellationDB: 95, RDAttenDB: 40, PAHeadroomDB: 10, RxOverNoiseDB: 30},          // PA-bound
+		{CancellationDB: 20, RDAttenDB: 80, PAHeadroomDB: 50, RxOverNoiseDB: 60},          // cancellation-bound
+	}
+	for i, s := range cases {
+		want := ChooseAmplificationResidualDB(s.CancellationDB, s.RDAttenDB, s.PAHeadroomDB, s.RxOverNoiseDB, true)
+		b := NewBudgetAccount(0)
+		got, err := b.Admit("s0", s)
+		if err != nil {
+			if want.Bound == AmpBoundFloor || want.AmpDB < 0 {
+				continue // both refuse useless placements
+			}
+			t.Fatalf("case %d: unexpected refusal: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("case %d: single-session admit = %+v, ChooseAmplificationResidualDB = %+v", i, got, want)
+		}
+	}
+}
+
+// TestBudgetLoadMonotonicity admits identical sessions one after another
+// and checks the physics: every later grant is no larger than the one
+// before (each admission raises the shared floor), and the residual load
+// strictly grows. Strict admission may refuse before the loop ends —
+// sticky earlier grants become infeasible as the floor rises — which is
+// the policy working, not a failure; at least two must fit first.
+func TestBudgetLoadMonotonicity(t *testing.T) {
+	b := NewBudgetAccount(0)
+	prevAmp := math.Inf(1)
+	prevLoad := -1.0
+	admitted := 0
+	for i := 0; i < 8; i++ {
+		dec, err := b.Admit(id(i), referenceSession)
+		if err != nil {
+			var ae *AdmissionError
+			if !errors.As(err, &ae) || ae.Reason != "member_violation" {
+				t.Fatalf("admit %d: %v", i, err)
+			}
+			break
+		}
+		admitted++
+		if dec.AmpDB > prevAmp+ampSlackDB {
+			t.Fatalf("admit %d granted %.6f dB > previous %.6f dB: floor load must not raise grants", i, dec.AmpDB, prevAmp)
+		}
+		if l := b.ResidualLoad(); l <= prevLoad {
+			t.Fatalf("admit %d: residual load %.6g did not grow from %.6g", i, l, prevLoad)
+		} else {
+			prevLoad = l
+		}
+		prevAmp = dec.AmpDB
+	}
+	if admitted < 2 {
+		t.Fatalf("only %d sessions admitted; the reference placement should share the floor at least once", admitted)
+	}
+}
+
+// TestBudgetRefusalAtBoundary raises the admission threshold so the
+// account fills after a few sessions, asserts the typed refusal, and
+// checks a Release reopens exactly one slot.
+func TestBudgetRefusalAtBoundary(t *testing.T) {
+	// A noisy session: high rx/n0 against modest cancellation gives a
+	// large β, so each admission eats the budget quickly.
+	s := SessionBudget{CancellationDB: 55, RDAttenDB: 50, PAHeadroomDB: 40, RxOverNoiseDB: 52}
+	alone := ChooseAmplificationResidualDB(s.CancellationDB, s.RDAttenDB, s.PAHeadroomDB, s.RxOverNoiseDB, true)
+	// Refuse anything more than 2 dB below the solo grant.
+	b := NewBudgetAccount(alone.AmpDB - 2)
+	admitted := 0
+	var refusal *AdmissionError
+	for i := 0; i < 64; i++ {
+		_, err := b.Admit(id(i), s)
+		if err != nil {
+			if !errors.As(err, &refusal) {
+				t.Fatalf("refusal is %T, want *AdmissionError", err)
+			}
+			break
+		}
+		admitted++
+	}
+	if refusal == nil {
+		t.Fatal("64 identical noisy sessions all admitted; expected a budget refusal")
+	}
+	if admitted == 0 {
+		t.Fatal("first session refused; threshold should admit at least one")
+	}
+	if refusal.Reason != "below_min_amp" && refusal.Reason != "member_violation" {
+		t.Fatalf("refusal reason %q, want below_min_amp or member_violation", refusal.Reason)
+	}
+	if b.Len() != admitted {
+		t.Fatalf("Len = %d, want %d", b.Len(), admitted)
+	}
+	// Releasing one member reopens exactly one slot for the same session.
+	if !b.Release(id(0)) {
+		t.Fatal("Release of admitted session reported false")
+	}
+	if _, err := b.Admit("reopened", s); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	if _, err := b.Admit("overflow", s); err == nil {
+		t.Fatal("admission past the released slot should refuse again")
+	}
+}
+
+// TestBudgetMemberProtection checks the strict policy refuses a candidate
+// whose residual would invalidate an existing grant, and that the refusal
+// names the protected member.
+func TestBudgetMemberProtection(t *testing.T) {
+	b := NewBudgetAccount(0)
+	first, err := b.Admit("first", referenceSession)
+	if err != nil {
+		t.Fatalf("admit first: %v", err)
+	}
+	// A pathological candidate: enormous residual per amp unit.
+	monster := SessionBudget{CancellationDB: 10, RDAttenDB: 90, PAHeadroomDB: 60, RxOverNoiseDB: 70}
+	_, err = b.Admit("monster", monster)
+	var ae *AdmissionError
+	if err == nil || !errors.As(err, &ae) {
+		t.Fatalf("monster admission: err = %v, want *AdmissionError", err)
+	}
+	if ae.Reason == "member_violation" && ae.Session != "first" {
+		t.Fatalf("member_violation names %q, want first", ae.Session)
+	}
+	// The refusal left the account unchanged.
+	if got, ok := b.Decision("first"); !ok || got != first {
+		t.Fatalf("first member's grant changed after refusal: %+v vs %+v", got, first)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d after refusal, want 1", b.Len())
+	}
+}
+
+// TestBudgetDegradeMode checks AdmitDegraded grants a reduced, feasible
+// amplification where the strict policy refuses, marks it degraded with
+// AmpBoundBudget, and still refuses when even the minimum is intolerable.
+func TestBudgetDegradeMode(t *testing.T) {
+	s := SessionBudget{CancellationDB: 55, RDAttenDB: 50, PAHeadroomDB: 40, RxOverNoiseDB: 52}
+	alone := ChooseAmplificationResidualDB(s.CancellationDB, s.RDAttenDB, s.PAHeadroomDB, s.RxOverNoiseDB, true)
+	strict := NewBudgetAccount(alone.AmpDB - 2)
+	soft := NewBudgetAccount(alone.AmpDB - 2)
+	// Fill the strict account to its refusal point; mirror on soft.
+	n := 0
+	for ; n < 64; n++ {
+		if _, err := strict.Admit(id(n), s); err != nil {
+			break
+		}
+		if _, deg, err := soft.AdmitDegraded(id(n), s); err != nil || deg {
+			t.Fatalf("soft admit %d should match strict while feasible (deg=%v err=%v)", n, deg, err)
+		}
+	}
+	dec, degraded, err := soft.AdmitDegraded("extra", s)
+	if err != nil {
+		// Degrading cannot always rescue the candidate (β may be too big
+		// even at the threshold); in that case both policies refuse and
+		// there is nothing more to assert.
+		t.Skipf("degrade could not rescue the boundary session: %v", err)
+	}
+	if !degraded {
+		t.Fatal("strict policy refused but AdmitDegraded reported no degradation")
+	}
+	if dec.Bound != AmpBoundBudget {
+		t.Fatalf("degraded bound = %v, want AmpBoundBudget", dec.Bound)
+	}
+	if dec.AmpDB < soft.MinAmpDB()-ampSlackDB {
+		t.Fatalf("degraded grant %.6f dB below MinAmpDB %.6f", dec.AmpDB, soft.MinAmpDB())
+	}
+	// Every prior member's sticky grant must still hold.
+	if v := soft.violatedMember(0); v >= 0 {
+		t.Fatalf("member %d violated after degraded admission", v)
+	}
+}
+
+// TestBudgetPreview checks Preview agrees with Admit without mutating.
+func TestBudgetPreview(t *testing.T) {
+	b := NewBudgetAccount(0)
+	pdec, ok := b.Preview(referenceSession)
+	if !ok {
+		t.Fatal("preview refused a clean session")
+	}
+	adec, err := b.Admit("s", referenceSession)
+	if err != nil {
+		t.Fatalf("admit after preview: %v", err)
+	}
+	if pdec != adec {
+		t.Fatalf("preview %+v != admit %+v", pdec, adec)
+	}
+	if _, ok := b.Preview(referenceSession); !ok {
+		t.Fatal("second preview refused; account should still have headroom")
+	}
+}
+
+func id(i int) string {
+	return string(rune('a' + i%26)) + string(rune('0'+i/26))
+}

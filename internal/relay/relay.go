@@ -15,6 +15,9 @@
 // A = min(C − stability margin, a − noise margin, PA headroom) — and
 // reports which bound was active (AmpDecision), the quantity behind the
 // relay.amp_db / relay.amp_bound.* run metrics of OBSERVABILITY.md.
+// BudgetAccount extends the rule to many concurrent sessions sharing one
+// receiver noise floor — the admission gate of the relay daemon
+// (internal/relayd, OPERATIONS.md).
 package relay
 
 import (

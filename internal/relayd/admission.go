@@ -1,0 +1,62 @@
+package relayd
+
+import (
+	"sync"
+)
+
+// tokenBucket is the throughput-admission primitive: a classic leaky
+// token bucket measured in samples. Each DATA block must withdraw its
+// sample count from the session's bucket and the shared global bucket
+// before it is swept; an empty bucket tells the handler how long to
+// sleep. Time is passed in (monotonic nanoseconds from obs.NowNanos), so
+// the refill math is unit-testable without a clock.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables the bucket
+	burst  float64 // bucket capacity
+	tokens float64
+	lastNs int64
+}
+
+// newTokenBucket builds a bucket that starts full. rate <= 0 yields a
+// nil bucket: unlimited, every take succeeds.
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take attempts to withdraw n tokens at monotonic time nowNs. On refusal
+// it returns the nanoseconds until the deficit refills. Withdrawals
+// larger than the burst are granted once the bucket is full (the bucket
+// cannot otherwise ever grant them); they overdraw the bucket, charging
+// the excess against future refill. Nil-safe: a nil bucket always
+// grants.
+func (tb *tokenBucket) take(n float64, nowNs int64) (ok bool, waitNs int64) {
+	if tb == nil || n <= 0 {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.lastNs != 0 && nowNs > tb.lastNs {
+		tb.tokens += tb.rate * float64(nowNs-tb.lastNs) / 1e9
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.lastNs = nowNs
+	need := n
+	if need > tb.burst {
+		need = tb.burst // overdraw path: full bucket suffices
+	}
+	if tb.tokens >= need {
+		tb.tokens -= n
+		return true, 0
+	}
+	deficit := need - tb.tokens
+	return false, int64(deficit / tb.rate * 1e9)
+}

@@ -1,0 +1,95 @@
+package relayd
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucketRefill drives the bucket with synthetic monotonic nanos:
+// refill must follow the rate exactly, and refusals must quote the time
+// until the deficit refills.
+func TestTokenBucketRefill(t *testing.T) {
+	tb := newTokenBucket(1000, 500) // 1000 samples/s, 500-sample burst
+	now := int64(1e9)
+	if ok, _ := tb.take(500, now); !ok {
+		t.Fatal("full bucket refused its burst")
+	}
+	ok, waitNs := tb.take(250, now)
+	if ok {
+		t.Fatal("empty bucket granted 250 samples")
+	}
+	if want := int64(250e6); waitNs != want {
+		t.Fatalf("waitNs = %d, want %d (250 tokens at 1000/s)", waitNs, want)
+	}
+	now += waitNs
+	if ok, _ := tb.take(250, now); !ok {
+		t.Fatal("bucket refused after quoted refill elapsed")
+	}
+	// Refill is capped at the burst.
+	now += int64(3600e9)
+	if ok, _ := tb.take(500, now); !ok {
+		t.Fatal("bucket refused its burst after a long idle")
+	}
+	if ok, _ := tb.take(1, now); ok {
+		t.Fatal("refill exceeded the burst cap")
+	}
+}
+
+// TestTokenBucketOverdraw covers withdrawals larger than the burst: they
+// are granted when the bucket is full, charging the excess to the future.
+func TestTokenBucketOverdraw(t *testing.T) {
+	tb := newTokenBucket(1000, 100)
+	now := int64(1e9)
+	if ok, _ := tb.take(250, now); !ok {
+		t.Fatal("full bucket refused an over-burst block")
+	}
+	// The bucket is now 150 tokens in debt; a 1-token take must wait for
+	// the debt plus itself.
+	ok, waitNs := tb.take(1, now)
+	if ok {
+		t.Fatal("indebted bucket granted a take")
+	}
+	if want := int64(151e6); waitNs != want {
+		t.Fatalf("waitNs = %d, want %d", waitNs, want)
+	}
+}
+
+func TestTokenBucketNilAndDisabled(t *testing.T) {
+	if tb := newTokenBucket(0, 100); tb != nil {
+		t.Fatal("rate 0 should build a nil (unlimited) bucket")
+	}
+	var tb *tokenBucket
+	if ok, _ := tb.take(1e12, 5); !ok {
+		t.Fatal("nil bucket refused a take")
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Min: 100 * time.Millisecond, Max: time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("Next() #%d = %v, want %v", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 100*time.Millisecond {
+		t.Fatalf("Next() after Reset = %v, want Min", got)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	first := b.Next()
+	if first != 100*time.Millisecond {
+		t.Fatalf("zero-value first delay = %v, want 100ms", first)
+	}
+	for i := 0; i < 20; i++ {
+		if d := b.Next(); d > 5*time.Second {
+			t.Fatalf("delay %v exceeded the 5s default cap", d)
+		}
+	}
+}

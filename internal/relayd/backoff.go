@@ -1,0 +1,43 @@
+package relayd
+
+import "time"
+
+// Backoff is the reconnect discipline clients (and the daemon's accept
+// loop, after transient errors) apply between attempts: exponential
+// growth from Min to Max, reset on success. Deliberately jitter-free —
+// retry schedules stay reproducible, and the daemon is not a thundering-
+// herd target at the scales this repo simulates.
+type Backoff struct {
+	// Min is the first delay (default 100 ms); Max caps growth (default
+	// 5 s); Factor multiplies per attempt (default 2).
+	Min, Max time.Duration
+	Factor   float64
+	cur      time.Duration
+}
+
+// Next returns the delay to sleep before the upcoming attempt and
+// advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	if b.Min <= 0 {
+		b.Min = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.cur == 0 {
+		b.cur = b.Min
+		return b.cur
+	}
+	next := time.Duration(float64(b.cur) * b.Factor)
+	if next > b.Max || next < b.cur {
+		next = b.Max
+	}
+	b.cur = next
+	return b.cur
+}
+
+// Reset rewinds the schedule to Min; call it after a successful attempt.
+func (b *Backoff) Reset() { b.cur = 0 }

@@ -1,0 +1,231 @@
+package relayd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire protocol: length-prefixed frames over any byte stream (TCP in
+// production, net.Pipe in tests — the transport is opaque to the
+// framing). Every frame is
+//
+//	[4-byte big-endian payload length][1-byte type][payload]
+//
+// A session opens with HELLO (JSON SessionParams), is answered by ACCEPT
+// (JSON Accept) or REFUSE (JSON Refuse, then close), then streams DATA
+// frames — each carrying one block of received samples followed by the
+// same number of transmit-reference samples — and receives one OUT frame
+// of processed samples per DATA frame. DONE ends the stream; the daemon
+// answers with STATS (JSON Stats) and closes. Samples travel as raw
+// little-endian IEEE-754 float64 (re, im) pairs, 16 bytes per sample, so
+// the daemon path is bit-transparent: what the chain computed is what
+// the client reads back, exactly.
+
+// Frame types.
+const (
+	// FrameHello opens a session: JSON SessionParams.
+	FrameHello byte = 1
+	// FrameAccept admits it: JSON Accept.
+	FrameAccept byte = 2
+	// FrameRefuse rejects it (or a DATA violation): JSON Refuse.
+	FrameRefuse byte = 3
+	// FrameData carries one block: n rx samples then n reference samples
+	// (payload length divisible by 32).
+	FrameData byte = 4
+	// FrameOut returns the processed block: n samples.
+	FrameOut byte = 5
+	// FrameDone ends the stream cleanly (empty payload).
+	FrameDone byte = 6
+	// FrameStats closes the session: JSON Stats.
+	FrameStats byte = 7
+)
+
+// MaxFramePayload caps any frame's payload (16 MiB: a 512k-sample block
+// with its reference). Oversized frames poison the connection and are
+// treated as protocol errors.
+const MaxFramePayload = 16 << 20
+
+// frameHeaderLen is the fixed prefix: 4-byte length + 1-byte type.
+const frameHeaderLen = 5
+
+// SampleBytes is the wire size of one complex sample: two float64s.
+const SampleBytes = 16
+
+// SessionParams is the HELLO payload: everything the daemon needs to
+// build the session's chain (deterministically, from Seed) and to price
+// its admission against the aggregate Sec 3.5 budget.
+type SessionParams struct {
+	// SampleRateHz is the session's nominal sample rate; it scales the
+	// CFO step and is the throughput the rate limiter charges against.
+	SampleRateHz float64 `json:"sample_rate_hz"`
+	// BlockSamples is the block size every DATA frame must carry.
+	BlockSamples int `json:"block_samples"`
+	// CancelTaps / CNFTaps size the session chain's two filters.
+	CancelTaps int `json:"cancel_taps"`
+	CNFTaps    int `json:"cnf_taps"`
+	// CFOHz is the carrier-frequency offset the chain corrects.
+	CFOHz float64 `json:"cfo_hz"`
+	// Seed draws the synthetic chain taps; the same seed and sizes yield
+	// the same chain on daemon and client (bit-identical verification).
+	Seed int64 `json:"seed"`
+	// CancellationDB, RDAttenDB, PAHeadroomDB, RxOverNoiseDB are the
+	// session's Sec 3.5 admission physics (relay.SessionBudget).
+	CancellationDB float64 `json:"cancellation_db"`
+	RDAttenDB      float64 `json:"rd_atten_db"`
+	PAHeadroomDB   float64 `json:"pa_headroom_db"`
+	RxOverNoiseDB  float64 `json:"rx_over_noise_db"`
+}
+
+// Validate bounds-checks a HELLO before any resource is committed.
+func (p SessionParams) Validate() error {
+	switch {
+	case !(p.SampleRateHz > 0) || math.IsInf(p.SampleRateHz, 0):
+		return fmt.Errorf("sample_rate_hz %v out of range", p.SampleRateHz)
+	case p.BlockSamples <= 0 || p.BlockSamples > MaxFramePayload/(2*SampleBytes):
+		return fmt.Errorf("block_samples %d out of range", p.BlockSamples)
+	case p.CancelTaps <= 0 || p.CancelTaps > 4096:
+		return fmt.Errorf("cancel_taps %d out of range", p.CancelTaps)
+	case p.CNFTaps <= 0 || p.CNFTaps > 4096:
+		return fmt.Errorf("cnf_taps %d out of range", p.CNFTaps)
+	case math.IsNaN(p.CFOHz) || math.IsInf(p.CFOHz, 0):
+		return fmt.Errorf("cfo_hz %v out of range", p.CFOHz)
+	case math.IsNaN(p.CancellationDB) || math.IsInf(p.CancellationDB, -1):
+		return fmt.Errorf("cancellation_db %v out of range", p.CancellationDB)
+	case math.IsNaN(p.RDAttenDB) || math.IsInf(p.RDAttenDB, 0):
+		return fmt.Errorf("rd_atten_db %v out of range", p.RDAttenDB)
+	case math.IsNaN(p.PAHeadroomDB) || math.IsInf(p.PAHeadroomDB, 0):
+		return fmt.Errorf("pa_headroom_db %v out of range", p.PAHeadroomDB)
+	case math.IsNaN(p.RxOverNoiseDB) || math.IsInf(p.RxOverNoiseDB, 1):
+		return fmt.Errorf("rx_over_noise_db %v out of range", p.RxOverNoiseDB)
+	}
+	return nil
+}
+
+// Accept is the ACCEPT payload: the admission grant.
+type Accept struct {
+	SessionID uint64 `json:"session_id"`
+	// AmpDB is the granted relay amplification; the session chain's amp
+	// stage is built from it.
+	AmpDB float64 `json:"amp_db"`
+	// AmpBound names the binding constraint (relay.AmpBound.String()).
+	AmpBound string `json:"amp_bound"`
+	// Degraded reports the grant was bisected below the strict bound by
+	// the degrade admission policy.
+	Degraded bool `json:"degraded"`
+	// ResidualLoad echoes the aggregate budget load after this admission.
+	ResidualLoad float64 `json:"residual_load"`
+}
+
+// Refuse codes, stable for clients and the troubleshooting table.
+const (
+	// RefuseBadHello: malformed or out-of-range HELLO.
+	RefuseBadHello = "bad_hello"
+	// RefuseDraining: the daemon is draining and admits nothing.
+	RefuseDraining = "draining"
+	// RefuseSessionLimit: MaxSessions reached.
+	RefuseSessionLimit = "session_limit"
+	// RefuseBudget: the Sec 3.5 aggregate residual budget refused it.
+	RefuseBudget = "budget"
+	// RefuseProtocol: a frame violated the protocol mid-session.
+	RefuseProtocol = "protocol"
+)
+
+// Refuse is the REFUSE payload.
+type Refuse struct {
+	Code   string `json:"code"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Stats is the STATS payload: the session's final accounting.
+type Stats struct {
+	SessionID uint64  `json:"session_id"`
+	Blocks    uint64  `json:"blocks"`
+	Samples   uint64  `json:"samples"`
+	AmpDB     float64 `json:"amp_db"`
+}
+
+// RefusedError is returned by the client when the daemon refused the
+// session (or mid-session on a protocol violation).
+type RefusedError struct {
+	Code   string
+	Detail string
+}
+
+// Error formats the refusal.
+func (e *RefusedError) Error() string {
+	return fmt.Sprintf("relayd: refused (%s): %s", e.Code, e.Detail)
+}
+
+// writeFrame emits one frame. The payload is borrowed for the call.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("relayd: frame payload %d exceeds %d", len(payload), MaxFramePayload)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		// Never write empty: the reader side never issues a zero-byte
+		// Read, and synchronous transports (net.Pipe) block empty writes
+		// until one arrives.
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeJSONFrame marshals v and emits it as a frame of the given type.
+func writeJSONFrame(w io.Writer, typ byte, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, buf)
+}
+
+// readFrame reads one frame, reusing buf when it has capacity. The
+// returned payload aliases the (possibly grown) buffer: valid until the
+// next call with the same buffer.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload, newBuf []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:4]))
+	if n > MaxFramePayload {
+		return 0, nil, buf, fmt.Errorf("relayd: frame payload %d exceeds %d", n, MaxFramePayload)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, err
+	}
+	return hdr[4], payload, buf, nil
+}
+
+// samplesToBytes serializes samples as little-endian float64 (re, im)
+// pairs into dst, which must hold SampleBytes·len(s) bytes.
+func samplesToBytes(dst []byte, s []complex128) {
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(dst[i*SampleBytes:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(dst[i*SampleBytes+8:], math.Float64bits(imag(v)))
+	}
+}
+
+// bytesToSamples is the exact inverse of samplesToBytes; len(src) must be
+// SampleBytes·len(dst).
+func bytesToSamples(dst []complex128, src []byte) {
+	for i := range dst {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(src[i*SampleBytes:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(src[i*SampleBytes+8:]))
+		dst[i] = complex(re, im)
+	}
+}

@@ -1,0 +1,133 @@
+package relayd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"testing"
+
+	"fastforward/internal/rng"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	params := SessionParams{
+		SampleRateHz: 20e6, BlockSamples: 64, CancelTaps: 8, CNFTaps: 4,
+		CFOHz: 100, Seed: 7,
+		CancellationDB: 60, RDAttenDB: 50, PAHeadroomDB: 40, RxOverNoiseDB: 30,
+	}
+	if err := writeJSONFrame(&wire, FrameHello, params); err != nil {
+		t.Fatalf("writeJSONFrame: %v", err)
+	}
+	if err := writeFrame(&wire, FrameDone, nil); err != nil {
+		t.Fatalf("writeFrame(DONE): %v", err)
+	}
+
+	typ, payload, buf, err := readFrame(&wire, nil)
+	if err != nil || typ != FrameHello {
+		t.Fatalf("readFrame = type %d, err %v; want HELLO", typ, err)
+	}
+	var got SessionParams
+	if err := json.Unmarshal(payload, &got); err != nil {
+		t.Fatalf("unmarshal hello: %v", err)
+	}
+	if got != params {
+		t.Fatalf("hello round trip: got %+v, want %+v", got, params)
+	}
+	typ, payload, _, err = readFrame(&wire, buf)
+	if err != nil || typ != FrameDone || len(payload) != 0 {
+		t.Fatalf("readFrame = type %d, %d bytes, err %v; want empty DONE", typ, len(payload), err)
+	}
+}
+
+func TestReadFrameRejectsOversizedHeader(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, FrameData}
+	if _, _, _, err := readFrame(bytes.NewReader(hdr), nil); err == nil {
+		t.Fatal("readFrame accepted a 4 GiB frame header")
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	if err := writeFrame(io.Discard, FrameData, make([]byte, MaxFramePayload+1)); err == nil {
+		t.Fatal("writeFrame accepted an oversized payload")
+	}
+}
+
+// TestSamplesRoundTripBitExact pins the bit-transparency of the sample
+// encoding, including signed zero and subnormals: the daemon must return
+// exactly the floats the chain computed.
+func TestSamplesRoundTripBitExact(t *testing.T) {
+	src := rng.New(42)
+	in := src.NoiseVector(61, 1)
+	in = append(in,
+		complex(math.Copysign(0, -1), 0),
+		complex(5e-324, -5e-324),
+		complex(math.MaxFloat64, -math.MaxFloat64),
+	)
+	raw := make([]byte, len(in)*SampleBytes)
+	samplesToBytes(raw, in)
+	out := make([]complex128, len(in))
+	bytesToSamples(out, raw)
+	for i := range in {
+		if math.Float64bits(real(in[i])) != math.Float64bits(real(out[i])) ||
+			math.Float64bits(imag(in[i])) != math.Float64bits(imag(out[i])) {
+			t.Fatalf("sample %d: %v round-tripped to %v (bit-exact required)", i, in[i], out[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	good := SessionParams{
+		SampleRateHz: 20e6, BlockSamples: 64, CancelTaps: 8, CNFTaps: 4,
+		CancellationDB: 60, RDAttenDB: 50, PAHeadroomDB: 40, RxOverNoiseDB: 30,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	mutations := map[string]func(*SessionParams){
+		"zero rate":       func(p *SessionParams) { p.SampleRateHz = 0 },
+		"nan rate":        func(p *SessionParams) { p.SampleRateHz = math.NaN() },
+		"zero block":      func(p *SessionParams) { p.BlockSamples = 0 },
+		"huge block":      func(p *SessionParams) { p.BlockSamples = MaxFramePayload },
+		"zero taps":       func(p *SessionParams) { p.CancelTaps = 0 },
+		"huge cnf":        func(p *SessionParams) { p.CNFTaps = 1 << 20 },
+		"inf cfo":         func(p *SessionParams) { p.CFOHz = math.Inf(1) },
+		"nan cancel":      func(p *SessionParams) { p.CancellationDB = math.NaN() },
+		"inf rd":          func(p *SessionParams) { p.RDAttenDB = math.Inf(1) },
+		"-inf headroom":   func(p *SessionParams) { p.PAHeadroomDB = math.Inf(-1) },
+		"+inf rxovernoise": func(p *SessionParams) { p.RxOverNoiseDB = math.Inf(1) },
+	}
+	for name, mutate := range mutations {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+}
+
+// FuzzReadFrame asserts the frame reader never panics and never
+// over-allocates on arbitrary wire bytes.
+func FuzzReadFrame(f *testing.F) {
+	var wire bytes.Buffer
+	writeFrame(&wire, FrameData, []byte{1, 2, 3, 4})
+	f.Add(wire.Bytes())
+	f.Add([]byte{0, 0, 0, 0, FrameDone})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := bytes.NewReader(raw)
+		var buf []byte
+		for {
+			_, payload, nbuf, err := readFrame(r, buf)
+			buf = nbuf
+			if err != nil {
+				return
+			}
+			if len(payload) > MaxFramePayload {
+				t.Fatalf("payload %d exceeds cap", len(payload))
+			}
+		}
+	})
+}

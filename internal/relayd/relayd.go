@@ -1,0 +1,604 @@
+// Package relayd implements a long-running FastForward relay daemon.
+//
+// The daemon accepts concurrent IQ streams (length-prefixed frames over
+// any net.Conn — TCP in production, net.Pipe in tests), instantiates one
+// pipeline session chain per stream, and sweeps all active sessions
+// through a shared dynamic pipeline.Batch so concurrent streams cost one
+// stage-major pass, not N independent pipelines. Output is bit-identical
+// to running each session through its own solo chain.
+//
+// Admission is physics-aware: every HELLO declares its Sec 3.5 link
+// budget (cancellation, R→D attenuation, PA headroom, RX-over-noise) and
+// the daemon admits it only if the aggregate residual rule still holds
+// for every already-admitted session (relay.BudgetAccount). Grants are
+// sticky: an admitted session keeps its amplification for its lifetime.
+// Throughput is bounded by per-session and global token buckets measured
+// in samples.
+//
+// Lifecycle: sessions idle out (IdleTimeout), reads and writes carry
+// deadlines, and SIGTERM-style drain stops admitting while in-flight
+// blocks flush. The status endpoint (see status.go) exposes the obs
+// snapshot and per-session state as JSON.
+package relayd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastforward/internal/obs"
+	"fastforward/internal/pipeline"
+	"fastforward/internal/relay"
+)
+
+// Config tunes one Server. The zero value of a limit disables it; start
+// from DefaultConfig for production-shaped defaults.
+type Config struct {
+	// MaxSessions caps concurrently admitted sessions (<= 0: unlimited).
+	MaxSessions int
+	// MinAmpDB is the least useful amplification grant; candidates whose
+	// shared-floor grant falls below it are refused (relay.BudgetAccount).
+	MinAmpDB float64
+	// Degrade selects the soft admission policy: instead of refusing a
+	// candidate that would violate an admitted session's sticky grant,
+	// bisect the candidate's own amplification down until everyone fits
+	// (relay.BudgetAccount.AdmitDegraded).
+	Degrade bool
+	// SessionRate / GlobalRate bound throughput in samples per second,
+	// per session and across all sessions (<= 0: unlimited).
+	SessionRate float64
+	GlobalRate  float64
+	// BurstSamples sizes the token buckets (default: one max block).
+	BurstSamples int
+	// IdleTimeout evicts a session that sends no frame for this long
+	// (<= 0: never). ReadTimeout bounds reading one frame's payload once
+	// its header arrived; WriteTimeout bounds each outbound frame
+	// (<= 0: unbounded).
+	IdleTimeout  time.Duration
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Registry receives the relayd.* metrics; nil gets a private one.
+	Registry *obs.Registry
+}
+
+// DefaultConfig is the documented production-shaped starting point.
+func DefaultConfig() Config {
+	return Config{
+		MaxSessions:  16,
+		MinAmpDB:     0,
+		BurstSamples: 1 << 16,
+		IdleTimeout:  30 * time.Second,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+}
+
+// metrics holds the daemon's obs handles; every name here is registered
+// in internal/obs/METRICS.txt and documented in OBSERVABILITY.md.
+type metrics struct {
+	admitted        *obs.Counter
+	degraded        *obs.Counter
+	completed       *obs.Counter
+	evictedIdle     *obs.Counter
+	refusedBudget   *obs.Counter
+	refusedLimit    *obs.Counter
+	refusedDraining *obs.Counter
+	refusedBadHello *obs.Counter
+	ioErrors        *obs.Counter
+	framesIn        *obs.Counter
+	framesOut       *obs.Counter
+	throttleWaits   *obs.Counter
+	drainFlushed    *obs.Counter
+	active          *obs.Gauge
+	residualLoad    *obs.Gauge
+	draining        *obs.Gauge
+	ampGrantedDB    *obs.Histogram
+	sessionBlocks   *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		admitted:        reg.Counter("relayd.sessions_admitted", "sessions"),
+		degraded:        reg.Counter("relayd.sessions_degraded", "sessions"),
+		completed:       reg.Counter("relayd.sessions_completed", "sessions"),
+		evictedIdle:     reg.Counter("relayd.sessions_evicted_idle", "sessions"),
+		refusedBudget:   reg.Counter("relayd.sessions_refused.budget", "sessions"),
+		refusedLimit:    reg.Counter("relayd.sessions_refused.limit", "sessions"),
+		refusedDraining: reg.Counter("relayd.sessions_refused.draining", "sessions"),
+		refusedBadHello: reg.Counter("relayd.sessions_refused.bad_hello", "sessions"),
+		ioErrors:        reg.Counter("relayd.io_errors", "errors"),
+		framesIn:        reg.Counter("relayd.frames_in", "frames"),
+		framesOut:       reg.Counter("relayd.frames_out", "frames"),
+		throttleWaits:   reg.Counter("relayd.throttle_waits", "waits"),
+		drainFlushed:    reg.Counter("relayd.drain_flushed_sessions", "sessions"),
+		active:          reg.Gauge("relayd.active_sessions", "sessions"),
+		residualLoad:    reg.Gauge("relayd.residual_load", "load"),
+		draining:        reg.Gauge("relayd.draining", "bool"),
+		ampGrantedDB:    reg.Histogram("relayd.amp_granted_db", "dB", obs.LinearBuckets(0, 5, 12)),
+		sessionBlocks:   reg.Histogram("relayd.session_blocks", "blocks", obs.LinearBuckets(0, 64, 16)),
+	}
+}
+
+// execReq asks the executor to sweep one session block. The handler has
+// already staged the cancel reference; block is processed in place and
+// done receives exactly one value when it is ready.
+type execReq struct {
+	sess  *Session
+	block []complex128
+	done  chan struct{}
+}
+
+// Server is the relay daemon: admission control, the shared batch
+// executor, and per-connection session handlers.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	m   metrics
+
+	mu        sync.Mutex
+	sessions  map[uint64]*Session
+	conns     map[net.Conn]struct{}
+	listeners []net.Listener
+	nextID    uint64
+	budget    *relay.BudgetAccount
+	batch     *pipeline.Batch
+
+	global *tokenBucket
+
+	draining atomic.Bool
+	execCh   chan *execReq
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	startNs  int64
+}
+
+// New builds a Server and starts its batch executor. Callers then feed it
+// connections via Serve (a listener's accept loop) or ServeConn (one
+// connection, e.g. a net.Pipe end in tests), and shut down with Drain
+// and/or Close.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.New()
+	}
+	if cfg.BurstSamples <= 0 {
+		cfg.BurstSamples = 1 << 16
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		m:        newMetrics(cfg.Registry),
+		sessions: make(map[uint64]*Session),
+		conns:    make(map[net.Conn]struct{}),
+		budget:   relay.NewBudgetAccount(cfg.MinAmpDB),
+		batch:    pipeline.NewDynamicBatch("relayd", pipeline.SessionStageNames()...),
+		global:   newTokenBucket(cfg.GlobalRate, float64(cfg.BurstSamples)),
+		execCh:   make(chan *execReq),
+		stop:     make(chan struct{}),
+		startNs:  obs.NowNanos(),
+	}
+	// The daemon deliberately leaves chain fast paths unarmed: they are
+	// 1e-9-close, not bit-exact, and the daemon's contract is bit-identical
+	// output versus the plain solo chain a client rebuilds from the seed.
+	s.batch.Instrument(pipeline.NewObs(cfg.Registry), 0)
+	go s.executor()
+	return s
+}
+
+// Registry returns the registry the daemon's metrics live in.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Sessions returns the number of currently admitted sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// executor is the single goroutine that owns the shared batch sweep. It
+// gathers every request ready right now and runs them as one stage-major
+// ProcessSome pass; per-session ordering holds because each handler keeps
+// at most one block in flight.
+func (s *Server) executor() {
+	reqs := make([]*execReq, 0, 16)
+	chains := make([]*pipeline.Chain, 0, 16)
+	blocks := make([][]complex128, 0, 16)
+	for {
+		select {
+		case r := <-s.execCh:
+			reqs = append(reqs[:0], r)
+		gather:
+			for {
+				select {
+				case r2 := <-s.execCh:
+					reqs = append(reqs, r2)
+				default:
+					break gather
+				}
+			}
+			chains, blocks = chains[:0], blocks[:0]
+			for _, r := range reqs {
+				chains = append(chains, r.sess.chain)
+				blocks = append(blocks, r.block)
+			}
+			s.batch.ProcessSome(chains, blocks)
+			for _, r := range reqs {
+				r.done <- struct{}{}
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Serve accepts connections from ln until the listener is closed (by
+// Close, or externally), spawning one handler per connection. Transient
+// accept errors back off exponentially; a closed listener returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	var bo Backoff
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				time.Sleep(bo.Next())
+				continue
+			}
+			return err
+		}
+		bo.Reset()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs one connection's session synchronously: handshake,
+// stream, cleanup. It is the in-process transport for tests (net.Pipe)
+// and is exactly the path Serve runs per accepted connection.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.handleConn(conn)
+}
+
+// Drain stops admitting sessions (new HELLOs are refused with code
+// "draining") and waits for every in-flight session to finish its stream.
+// If ctx expires first, remaining connections are force-closed and
+// ctx.Err() is returned once their handlers unwind.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.m.draining.Set(1)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts the daemon down: listeners and connections close, handlers
+// unwind, and the batch executor stops. Safe after Drain and idempotent.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.m.draining.Set(1)
+	s.mu.Lock()
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	s.listeners = nil
+	s.mu.Unlock()
+	s.closeConns()
+	s.wg.Wait()
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) trackConn(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// refuse emits a REFUSE frame; write errors are irrelevant at this point.
+func (s *Server) refuse(conn net.Conn, code, detail string) {
+	s.setWriteDeadline(conn)
+	_ = writeJSONFrame(conn, FrameRefuse, Refuse{Code: code, Detail: detail})
+}
+
+func (s *Server) setWriteDeadline(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+// admit runs the admission gate under the server lock: drain state, the
+// session cap, then the aggregate Sec 3.5 residual budget. On success the
+// session is registered, its chain joins the shared batch, and the
+// post-admission residual load is returned for the ACCEPT frame.
+func (s *Server) admit(p SessionParams, remote string) (*Session, float64, *Refuse) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return nil, 0, &Refuse{Code: RefuseDraining, Detail: "daemon is draining"}
+	}
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, 0, &Refuse{Code: RefuseSessionLimit,
+			Detail: "max_sessions=" + strconv.Itoa(s.cfg.MaxSessions) + " reached"}
+	}
+	id := s.nextID
+	s.nextID++
+	key := strconv.FormatUint(id, 10)
+	var (
+		dec      relay.AmpDecision
+		degraded bool
+		err      error
+	)
+	if s.cfg.Degrade {
+		dec, degraded, err = s.budget.AdmitDegraded(key, p.budget())
+	} else {
+		dec, err = s.budget.Admit(key, p.budget())
+	}
+	if err != nil {
+		return nil, 0, &Refuse{Code: RefuseBudget, Detail: err.Error()}
+	}
+	sess := &Session{
+		ID:       id,
+		Remote:   remote,
+		Params:   p,
+		Grant:    dec,
+		Degraded: degraded,
+		shard:    obs.ShardForSeed(p.Seed),
+		startNs:  obs.NowNanos(),
+	}
+	sess.lastActiveNs.Store(sess.startNs)
+	sess.chain, sess.cancel = BuildSessionChain(p, dec.AmpDB)
+	s.batch.Add(sess.chain)
+	s.sessions[id] = sess
+	s.m.admitted.Inc(sess.shard)
+	if degraded {
+		s.m.degraded.Inc(sess.shard)
+	}
+	s.m.ampGrantedDB.Observe(sess.shard, dec.AmpDB)
+	s.m.active.Set(float64(len(s.sessions)))
+	load := s.budget.ResidualLoad()
+	s.m.residualLoad.Set(load)
+	return sess, load, nil
+}
+
+// release unwinds admission: the session leaves the batch, its budget
+// slot reopens, and its terminal state is accounted. Safe to call exactly
+// once per admitted session.
+func (s *Server) release(sess *Session, completed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess.state.Store(int32(StateClosed))
+	delete(s.sessions, sess.ID)
+	s.batch.Remove(sess.chain)
+	s.budget.Release(strconv.FormatUint(sess.ID, 10))
+	s.m.active.Set(float64(len(s.sessions)))
+	s.m.residualLoad.Set(s.budget.ResidualLoad())
+	s.m.sessionBlocks.Observe(sess.shard, float64(sess.Blocks()))
+	if completed {
+		s.m.completed.Inc(sess.shard)
+		if s.draining.Load() {
+			s.m.drainFlushed.Inc(sess.shard)
+		}
+	}
+}
+
+// readSessionFrame reads one frame with the two-phase deadline: the idle
+// timeout governs waiting for the 5-byte header (expiry means the peer
+// went quiet — idle=true), the read timeout governs the payload once the
+// header landed (expiry is an I/O error).
+func (s *Server) readSessionFrame(conn net.Conn, buf []byte) (typ byte, payload, newBuf []byte, idle bool, err error) {
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	} else {
+		conn.SetReadDeadline(time.Time{})
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, nil, buf, isTimeout(err), err
+	}
+	n := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+	if n > MaxFramePayload {
+		return 0, nil, buf, false, errors.New("relayd: frame payload exceeds limit")
+	}
+	if s.cfg.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err = io.ReadFull(conn, payload); err != nil {
+		return 0, nil, buf, false, err
+	}
+	return hdr[4], payload, buf, false, nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// handleConn runs one connection end to end: HELLO, admission, the DATA
+// stream, DONE/STATS, cleanup. Every exit path releases whatever was
+// admitted.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	s.trackConn(conn, true)
+	defer s.trackConn(conn, false)
+
+	// HELLO must arrive within the read timeout.
+	if s.cfg.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+	typ, payload, buf, err := readFrame(conn, nil)
+	if err != nil || typ != FrameHello {
+		s.m.ioErrors.Inc(0)
+		return
+	}
+	var p SessionParams
+	if err := json.Unmarshal(payload, &p); err != nil {
+		s.m.refusedBadHello.Inc(0)
+		s.refuse(conn, RefuseBadHello, "hello is not valid JSON: "+err.Error())
+		return
+	}
+	if err := p.Validate(); err != nil {
+		s.m.refusedBadHello.Inc(0)
+		s.refuse(conn, RefuseBadHello, err.Error())
+		return
+	}
+
+	sess, load, ref := s.admit(p, conn.RemoteAddr().String())
+	if ref != nil {
+		switch ref.Code {
+		case RefuseDraining:
+			s.m.refusedDraining.Inc(0)
+		case RefuseSessionLimit:
+			s.m.refusedLimit.Inc(0)
+		default:
+			s.m.refusedBudget.Inc(0)
+		}
+		s.refuse(conn, ref.Code, ref.Detail)
+		return
+	}
+
+	s.setWriteDeadline(conn)
+	if err := writeJSONFrame(conn, FrameAccept, Accept{
+		SessionID:    sess.ID,
+		AmpDB:        sess.Grant.AmpDB,
+		AmpBound:     sess.Grant.Bound.String(),
+		Degraded:     sess.Degraded,
+		ResidualLoad: load,
+	}); err != nil {
+		s.m.ioErrors.Inc(sess.shard)
+		s.release(sess, false)
+		return
+	}
+
+	completed := s.streamSession(conn, sess, buf)
+	s.release(sess, completed)
+}
+
+// streamSession runs the admitted session's frame loop and reports
+// whether the stream ended cleanly with DONE.
+func (s *Server) streamSession(conn net.Conn, sess *Session, buf []byte) bool {
+	n := sess.Params.BlockSamples
+	rx := make([]complex128, n)
+	refSamples := make([]complex128, n)
+	out := make([]byte, n*SampleBytes)
+	req := &execReq{sess: sess, done: make(chan struct{}, 1)}
+	bucket := newTokenBucket(s.cfg.SessionRate, float64(s.cfg.BurstSamples))
+
+	for {
+		typ, payload, nbuf, idle, err := s.readSessionFrame(conn, buf)
+		buf = nbuf
+		if err != nil {
+			if idle {
+				s.m.evictedIdle.Inc(sess.shard)
+			} else {
+				s.m.ioErrors.Inc(sess.shard)
+			}
+			return false
+		}
+		s.m.framesIn.Inc(sess.shard)
+		switch typ {
+		case FrameData:
+			if len(payload) != 2*n*SampleBytes {
+				s.refuse(conn, RefuseProtocol,
+					"data frame carries "+strconv.Itoa(len(payload))+
+						" bytes, want "+strconv.Itoa(2*n*SampleBytes))
+				s.m.ioErrors.Inc(sess.shard)
+				return false
+			}
+			s.throttle(bucket, float64(n), sess)
+			bytesToSamples(rx, payload[:n*SampleBytes])
+			bytesToSamples(refSamples, payload[n*SampleBytes:])
+			sess.cancel.SetReference(refSamples)
+			sess.state.Store(int32(StateStreaming))
+			req.block = rx
+			s.execCh <- req
+			<-req.done
+			samplesToBytes(out, rx)
+			s.setWriteDeadline(conn)
+			if err := writeFrame(conn, FrameOut, out); err != nil {
+				s.m.ioErrors.Inc(sess.shard)
+				return false
+			}
+			s.m.framesOut.Inc(sess.shard)
+			sess.blocks.Add(1)
+			sess.samples.Add(uint64(n))
+			sess.lastActiveNs.Store(obs.NowNanos())
+		case FrameDone:
+			s.setWriteDeadline(conn)
+			if err := writeJSONFrame(conn, FrameStats, Stats{
+				SessionID: sess.ID,
+				Blocks:    sess.Blocks(),
+				Samples:   sess.Samples(),
+				AmpDB:     sess.Grant.AmpDB,
+			}); err != nil {
+				s.m.ioErrors.Inc(sess.shard)
+				return false
+			}
+			s.m.framesOut.Inc(sess.shard)
+			return true
+		default:
+			s.refuse(conn, RefuseProtocol, "unexpected frame type "+strconv.Itoa(int(typ)))
+			s.m.ioErrors.Inc(sess.shard)
+			return false
+		}
+	}
+}
+
+// throttle charges one block of samples to the session and global token
+// buckets, sleeping out any deficit. Each sleep counts one throttle wait.
+func (s *Server) throttle(session *tokenBucket, samples float64, sess *Session) {
+	for _, tb := range [2]*tokenBucket{session, s.global} {
+		for {
+			ok, waitNs := tb.take(samples, obs.NowNanos())
+			if ok {
+				break
+			}
+			s.m.throttleWaits.Inc(sess.shard)
+			time.Sleep(time.Duration(waitNs))
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package relayd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"fastforward/internal/obs"
+	"fastforward/internal/relay"
+	"fastforward/internal/rng"
+)
+
+// testParams is a comfortably-admissible session: strong cancellation
+// keeps its residual weight tiny, so the PA headroom binds.
+func testParams(seed int64) SessionParams {
+	return SessionParams{
+		SampleRateHz: 20e6, BlockSamples: 256, CancelTaps: 24, CNFTaps: 16,
+		CFOHz: 1500, Seed: seed,
+		CancellationDB: 85, RDAttenDB: 50, PAHeadroomDB: 40, RxOverNoiseDB: 30,
+	}
+}
+
+// noisyParams is a session whose residual dominates its own floor
+// (β = 0.5): a handful of them exhaust the shared budget.
+func noisyParams(seed int64) SessionParams {
+	p := testParams(seed)
+	p.CancellationDB, p.RxOverNoiseDB = 55, 52
+	return p
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *obs.Registry) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.New()
+	}
+	srv := New(cfg)
+	t.Cleanup(srv.Close)
+	return srv, cfg.Registry
+}
+
+// pipeSession opens an in-process session against srv over net.Pipe.
+func pipeSession(srv *Server, p SessionParams) (*Client, error) {
+	cs, ss := net.Pipe()
+	go srv.ServeConn(ss)
+	return NewClientConn(cs, p)
+}
+
+// runVerifiedSession streams nBlocks through the daemon and compares
+// every output block bit-for-bit against a solo reference chain built
+// from the same seed and the daemon's granted amplification.
+func runVerifiedSession(srv *Server, seed int64, nBlocks int) error {
+	p := testParams(seed)
+	c, err := pipeSession(srv, p)
+	if err != nil {
+		return err
+	}
+	ref, refCancel := BuildSessionChain(p, c.Accept().AmpDB)
+	src := rng.New(seed ^ 0x77)
+	n := p.BlockSamples
+	tx := src.NoiseVector(nBlocks*n, 1)
+	rx := src.NoiseVector(nBlocks*n, 1)
+	out := make([]complex128, n)
+	want := make([]complex128, n)
+	for b := 0; b < nBlocks; b++ {
+		off := b * n
+		if err := c.Process(out, rx[off:off+n], tx[off:off+n]); err != nil {
+			return fmt.Errorf("block %d: %w", b, err)
+		}
+		copy(want, rx[off:off+n])
+		refCancel.SetReference(tx[off : off+n])
+		ref.Process(want)
+		for j := range want {
+			if out[j] != want[j] {
+				return fmt.Errorf("seed %d block %d sample %d: daemon %v, solo %v (bit-exact required)",
+					seed, b, j, out[j], want[j])
+			}
+		}
+	}
+	st, err := c.Close()
+	if err != nil {
+		return err
+	}
+	if st.Blocks != uint64(nBlocks) || st.Samples != uint64(nBlocks*n) {
+		return fmt.Errorf("stats = %+v, want %d blocks / %d samples", st, nBlocks, nBlocks*n)
+	}
+	return nil
+}
+
+// TestConcurrentSessionsBitIdentical is the daemon's core correctness
+// property: N concurrent sessions share one batch executor, and every
+// session's output is bit-identical to its own solo chain. Runs under
+// -race via the Makefile race target.
+func TestConcurrentSessionsBitIdentical(t *testing.T) {
+	const nSessions, nBlocks = 4, 6
+	srv, reg := newTestServer(t, DefaultConfig())
+	errc := make(chan error, nSessions)
+	for i := 0; i < nSessions; i++ {
+		go func(seed int64) { errc <- runVerifiedSession(srv, seed, nBlocks) }(int64(100 + i))
+	}
+	for i := 0; i < nSessions; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The client sees STATS before the handler's release runs; wait for
+	// the handlers to unwind before reading terminal counters.
+	waitFor(t, "all sessions to release", func() bool { return srv.Sessions() == 0 })
+	waitFor(t, "all completions to be counted", func() bool {
+		return reg.Counter("relayd.sessions_completed", "sessions").Value() == nSessions
+	})
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"relayd.sessions_admitted", nSessions},
+		{"relayd.sessions_completed", nSessions},
+		{"relayd.frames_in", nSessions * (nBlocks + 1)},  // DATA + DONE
+		{"relayd.frames_out", nSessions * (nBlocks + 1)}, // OUT + STATS
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.name, "x").Value(); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestAdmissionRefusalAtResidualBudgetBoundary mirrors the daemon's
+// admissions into a local relay.BudgetAccount fed the same sessions in
+// the same order: the daemon must refuse at exactly the admission the
+// account refuses, with the budget refusal code, and releasing one
+// admitted session must reopen exactly one slot.
+func TestAdmissionRefusalAtResidualBudgetBoundary(t *testing.T) {
+	alone := relay.ChooseAmplificationResidualDB(55, 50, 40, 52, true)
+	cfg := DefaultConfig()
+	cfg.MaxSessions = 0 // only the physics gate refuses
+	cfg.MinAmpDB = alone.AmpDB - 2
+	srv, reg := newTestServer(t, cfg)
+	mirror := relay.NewBudgetAccount(cfg.MinAmpDB)
+
+	var clients []*Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	refusedAt := -1
+	for i := 0; i < 64; i++ {
+		key := strconv.Itoa(i)
+		dec, mirrorErr := mirror.Admit(key, noisyParams(int64(i)).budget())
+		c, err := pipeSession(srv, noisyParams(int64(i)))
+		if mirrorErr == nil {
+			if err != nil {
+				t.Fatalf("admission %d: mirror admitted at %.3f dB, daemon refused: %v", i, dec.AmpDB, err)
+			}
+			if c.Accept().AmpDB != dec.AmpDB {
+				t.Fatalf("admission %d: daemon granted %v dB, mirror %v dB (must be bit-exact)",
+					i, c.Accept().AmpDB, dec.AmpDB)
+			}
+			clients = append(clients, c)
+			continue
+		}
+		// The mirror refused: the daemon must too, with the budget code.
+		if err == nil {
+			t.Fatalf("admission %d: mirror refused (%v), daemon accepted", i, mirrorErr)
+		}
+		var ref *RefusedError
+		if !errors.As(err, &ref) || ref.Code != RefuseBudget {
+			t.Fatalf("admission %d: want RefusedError code %q, got %v", i, RefuseBudget, err)
+		}
+		refusedAt = i
+		break
+	}
+	if refusedAt < 1 {
+		t.Fatalf("budget never refused within 64 identical noisy sessions (refusedAt=%d)", refusedAt)
+	}
+	if got := reg.Counter("relayd.sessions_refused.budget", "sessions").Value(); got != 1 {
+		t.Fatalf("relayd.sessions_refused.budget = %d, want 1", got)
+	}
+
+	// Release the last admitted session on both sides: the same candidate
+	// must now be admitted, with the mirror's grant.
+	last := len(clients) - 1
+	if _, err := clients[last].Close(); err != nil {
+		t.Fatalf("closing admitted session: %v", err)
+	}
+	clients = clients[:last]
+	mirror.Release(strconv.Itoa(last))
+	waitFor(t, "released session to leave the daemon", func() bool { return srv.Sessions() == last })
+
+	dec, err := mirror.Admit("retry", noisyParams(999).budget())
+	if err != nil {
+		t.Fatalf("mirror refused the retry after release: %v", err)
+	}
+	c, err := pipeSession(srv, noisyParams(999))
+	if err != nil {
+		t.Fatalf("daemon refused the retry after release: %v", err)
+	}
+	if c.Accept().AmpDB != dec.AmpDB {
+		t.Fatalf("retry granted %v dB, mirror %v dB", c.Accept().AmpDB, dec.AmpDB)
+	}
+	clients = append(clients, c)
+}
+
+// TestDegradeMode checks the soft admission policy end to end: the
+// daemon's (grant, degraded) pair must bit-match a mirrored
+// relay.BudgetAccount.AdmitDegraded sequence, and degraded admissions
+// must be flagged in the ACCEPT frame and the metrics.
+func TestDegradeMode(t *testing.T) {
+	alone := relay.ChooseAmplificationResidualDB(55, 50, 40, 52, true)
+	cfg := DefaultConfig()
+	cfg.Degrade = true
+	cfg.MinAmpDB = alone.AmpDB - 6 // room for degraded grants
+	srv, reg := newTestServer(t, cfg)
+	mirror := relay.NewBudgetAccount(cfg.MinAmpDB)
+
+	degradedSeen := uint64(0)
+	var clients []*Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		dec, degraded, mirrorErr := mirror.AdmitDegraded(strconv.Itoa(i), noisyParams(int64(i)).budget())
+		c, err := pipeSession(srv, noisyParams(int64(i)))
+		if mirrorErr != nil {
+			if err == nil {
+				t.Fatalf("admission %d: mirror refused (%v), daemon accepted", i, mirrorErr)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("admission %d: mirror admitted, daemon refused: %v", i, err)
+		}
+		acc := c.Accept()
+		if acc.AmpDB != dec.AmpDB || acc.Degraded != degraded {
+			t.Fatalf("admission %d: daemon (%v dB, degraded=%v), mirror (%v dB, degraded=%v)",
+				i, acc.AmpDB, acc.Degraded, dec.AmpDB, degraded)
+		}
+		if degraded {
+			degradedSeen++
+			if acc.AmpBound != "budget" {
+				t.Fatalf("degraded grant reports bound %q, want \"budget\"", acc.AmpBound)
+			}
+		}
+		clients = append(clients, c)
+	}
+	if degradedSeen == 0 {
+		t.Skip("degrade policy never engaged for this parameter set")
+	}
+	if got := reg.Counter("relayd.sessions_degraded", "sessions").Value(); got != degradedSeen {
+		t.Fatalf("relayd.sessions_degraded = %d, want %d", got, degradedSeen)
+	}
+}
+
+// TestGracefulDrain pins the drain contract: draining refuses new
+// sessions, in-flight sessions keep processing (bit-exact) until they
+// finish, and a flushed session is accounted.
+func TestGracefulDrain(t *testing.T) {
+	srv, reg := newTestServer(t, DefaultConfig())
+	p := testParams(7)
+	c, err := pipeSession(srv, p)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	ref, refCancel := BuildSessionChain(p, c.Accept().AmpDB)
+	src := rng.New(7 ^ 0x77)
+	n := p.BlockSamples
+	tx := src.NoiseVector(4*n, 1)
+	rx := src.NoiseVector(4*n, 1)
+	out := make([]complex128, n)
+	want := make([]complex128, n)
+	process := func(b int) {
+		t.Helper()
+		off := b * n
+		if err := c.Process(out, rx[off:off+n], tx[off:off+n]); err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		copy(want, rx[off:off+n])
+		refCancel.SetReference(tx[off : off+n])
+		ref.Process(want)
+		for j := range want {
+			if out[j] != want[j] {
+				t.Fatalf("block %d sample %d: daemon %v, solo %v", b, j, out[j], want[j])
+			}
+		}
+	}
+	process(0)
+	process(1)
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	waitFor(t, "daemon to enter draining", srv.Draining)
+
+	// New sessions are refused with the draining code.
+	if _, err := pipeSession(srv, testParams(8)); err == nil {
+		t.Fatal("daemon admitted a session while draining")
+	} else {
+		var refz *RefusedError
+		if !errors.As(err, &refz) || refz.Code != RefuseDraining {
+			t.Fatalf("want RefusedError code %q, got %v", RefuseDraining, err)
+		}
+	}
+
+	// The in-flight session still processes, bit-exact, and completes.
+	process(2)
+	process(3)
+	st, err := c.Close()
+	if err != nil {
+		t.Fatalf("close during drain: %v", err)
+	}
+	if st.Blocks != 4 {
+		t.Fatalf("stats blocks = %d, want 4", st.Blocks)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+	if got := reg.Counter("relayd.drain_flushed_sessions", "sessions").Value(); got != 1 {
+		t.Fatalf("relayd.drain_flushed_sessions = %d, want 1", got)
+	}
+	if got := reg.Counter("relayd.sessions_refused.draining", "sessions").Value(); got != 1 {
+		t.Fatalf("relayd.sessions_refused.draining = %d, want 1", got)
+	}
+}
+
+// TestDrainDeadlineForceCloses covers the other drain arm: a session that
+// never finishes is force-closed once the drain context expires.
+func TestDrainDeadlineForceCloses(t *testing.T) {
+	srv, _ := newTestServer(t, DefaultConfig())
+	if _, err := pipeSession(srv, testParams(11)); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want deadline exceeded", err)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("Sessions() = %d after forced drain, want 0", srv.Sessions())
+	}
+}
+
+// TestIdleTimeoutEviction: a session that goes quiet longer than
+// IdleTimeout is evicted and accounted.
+func TestIdleTimeoutEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdleTimeout = 50 * time.Millisecond
+	srv, reg := newTestServer(t, cfg)
+	if _, err := pipeSession(srv, testParams(3)); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	evicted := reg.Counter("relayd.sessions_evicted_idle", "sessions")
+	waitFor(t, "idle session to be evicted", func() bool { return evicted.Value() == 1 })
+	if srv.Sessions() != 0 {
+		t.Fatalf("Sessions() = %d after eviction, want 0", srv.Sessions())
+	}
+}
+
+// TestSessionLimitRefusal: the cap refuses with the session_limit code
+// and does not touch the physics budget.
+func TestSessionLimitRefusal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxSessions = 2
+	srv, reg := newTestServer(t, cfg)
+	var clients []*Client
+	for i := 0; i < 2; i++ {
+		c, err := pipeSession(srv, testParams(int64(20+i)))
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		clients = append(clients, c)
+	}
+	_, err := pipeSession(srv, testParams(30))
+	var ref *RefusedError
+	if !errors.As(err, &ref) || ref.Code != RefuseSessionLimit {
+		t.Fatalf("want RefusedError code %q, got %v", RefuseSessionLimit, err)
+	}
+	if got := reg.Counter("relayd.sessions_refused.limit", "sessions").Value(); got != 1 {
+		t.Fatalf("relayd.sessions_refused.limit = %d, want 1", got)
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// TestThrottleEngages: a tight session rate forces at least one throttle
+// wait without corrupting the stream.
+func TestThrottleEngages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SessionRate = 50e3 // 256-sample blocks at ~195 blocks/s
+	cfg.BurstSamples = 256
+	srv, reg := newTestServer(t, cfg)
+	if err := runVerifiedSession(srv, 41, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("relayd.throttle_waits", "waits").Value(); got == 0 {
+		t.Fatal("relayd.throttle_waits = 0, want > 0 at 3 blocks over burst")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes. The daemon's
+// terminal transitions are asynchronous (handler goroutines unwind after
+// the client sees its last frame), so tests poll rather than assume.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

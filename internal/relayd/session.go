@@ -1,0 +1,111 @@
+package relayd
+
+import (
+	"math"
+	"sync/atomic"
+
+	"fastforward/internal/pipeline"
+	"fastforward/internal/relay"
+	"fastforward/internal/rng"
+)
+
+// SessionState is the lifecycle FSM of one admitted session:
+//
+//	Admitted --first DATA--> Streaming --DONE--> Closed (completed)
+//	    |                        |
+//	    +--idle timeout----------+--> Closed (evicted)
+//	    |                        |
+//	    +--drain force-close-----+--> Closed (flushed or aborted)
+//
+// Refused connections never become sessions; they are counted and
+// dropped before a Session exists.
+type SessionState int32
+
+const (
+	// StateAdmitted: HELLO accepted, no DATA seen yet.
+	StateAdmitted SessionState = iota
+	// StateStreaming: at least one DATA block processed.
+	StateStreaming
+	// StateClosed: the session left the daemon (completed, evicted, or
+	// errored); its budget and batch slot are released.
+	StateClosed
+)
+
+// String names the state for the status endpoint.
+func (s SessionState) String() string {
+	switch s {
+	case StateAdmitted:
+		return "admitted"
+	case StateStreaming:
+		return "streaming"
+	case StateClosed:
+		return "closed"
+	}
+	return "unknown"
+}
+
+// Session is one admitted IQ stream: its chain, its sticky amplification
+// grant, and its accounting. All mutable fields are atomics — the status
+// endpoint reads them concurrently with the handler.
+type Session struct {
+	// ID is the daemon-assigned session id (monotonic, never reused).
+	ID uint64
+	// Remote describes the peer (transport address, or "pipe" in tests).
+	Remote string
+	// Params echoes the admitted HELLO.
+	Params SessionParams
+	// Grant is the sticky amplification decision admission produced.
+	Grant relay.AmpDecision
+	// Degraded reports the grant came from the degrade policy.
+	Degraded bool
+
+	chain  *pipeline.Chain
+	cancel *pipeline.CancelStage
+	shard  int
+
+	state        atomic.Int32
+	blocks       atomic.Uint64
+	samples      atomic.Uint64
+	startNs      int64
+	lastActiveNs atomic.Int64
+}
+
+// State returns the session's current FSM state.
+func (s *Session) State() SessionState { return SessionState(s.state.Load()) }
+
+// Blocks returns the number of processed blocks.
+func (s *Session) Blocks() uint64 { return s.blocks.Load() }
+
+// Samples returns the number of processed samples.
+func (s *Session) Samples() uint64 { return s.samples.Load() }
+
+// budget maps the session's declared physics to the admission currency.
+func (p SessionParams) budget() relay.SessionBudget {
+	return relay.SessionBudget{
+		CancellationDB: p.CancellationDB,
+		RDAttenDB:      p.RDAttenDB,
+		PAHeadroomDB:   p.PAHeadroomDB,
+		RxOverNoiseDB:  p.RxOverNoiseDB,
+	}
+}
+
+// chainSpec maps the admitted HELLO plus the granted amplification to
+// the shared session-chain spec. The grant is a power gain; the amp
+// stage applies its amplitude square root.
+func chainSpec(p SessionParams, ampDB float64) pipeline.SessionChainSpec {
+	return pipeline.SessionChainSpec{
+		CancelTaps: p.CancelTaps,
+		CNFTaps:    p.CNFTaps,
+		CFOStepRad: 2 * math.Pi * p.CFOHz / p.SampleRateHz,
+		AmpGain:    complex(math.Pow(10, ampDB/20), 0),
+	}
+}
+
+// BuildSessionChain constructs the exact chain the daemon runs for an
+// admitted session: pipeline.NewSessionChain over the HELLO's sizes and
+// seed with the granted amplification. Exported so clients and tests can
+// build the single-session reference path and assert the daemon's output
+// is bit-identical to it.
+func BuildSessionChain(p SessionParams, ampDB float64) (*pipeline.Chain, *pipeline.CancelStage) {
+	return pipeline.NewSessionChain(chainSpec(p, ampDB), rng.New(p.Seed))
+}
