@@ -5,13 +5,13 @@
 # flow, dB-unit discipline, metric-name registry — see DESIGN.md §7), a
 # race-detector pass over the packages the parallel sweep engine made
 # concurrent (internal/par, internal/fft, internal/ident, and the
-# testbed's parallel paths), and a manifest smoke run of every cmd
-# binary (see OBSERVABILITY.md).
+# testbed's parallel paths), a manifest smoke run of every cmd binary
+# (see OBSERVABILITY.md), and the fleet sweep smoke (DESIGN.md §11).
 
 GO ?= go
 SMOKE := .smoke
 
-.PHONY: all build test vet lint race check bench bench-allocs bench-sessions manifest-smoke daemon-smoke fuzz-smoke
+.PHONY: all build test vet lint race check bench bench-allocs bench-sessions manifest-smoke daemon-smoke fleet-smoke fuzz-smoke
 
 all: check
 
@@ -42,11 +42,11 @@ lint: build
 # (sic in -short mode: the long characterization sweeps are Short-gated,
 # the concurrent-registry tests are not).
 race:
-	$(GO) test -race ./internal/par ./internal/fft ./internal/ident ./internal/obs ./internal/pipeline ./internal/relayd
+	$(GO) test -race ./internal/par ./internal/fft ./internal/ident ./internal/obs ./internal/pipeline ./internal/relayd ./internal/fleet
 	$(GO) test -race -short ./internal/sic
 	$(GO) test -race -run 'Parallel|Slot|Determinism' ./internal/testbed
 
-check: test vet lint race manifest-smoke daemon-smoke
+check: test vet lint race manifest-smoke daemon-smoke fleet-smoke
 
 # Run every cmd binary with -manifest on a tiny configuration and
 # validate the JSON it writes; ffsim additionally must report nonzero
@@ -77,6 +77,19 @@ daemon-smoke: build
 	$(GO) run ./cmd/manifestcheck -require relayd.sessions_admitted,relayd.sessions_completed,relayd.sessions_refused.budget,relayd.frames_in,relayd.frames_out,relayd.amp_granted_db $(SMOKE)/relayd.json
 	rm -rf $(SMOKE)
 
+# Fleet smoke (see DESIGN.md §11): a small relay-pool sweep with its
+# forced degradation event must publish every fleet.* metric and be
+# bit-identical between a serial and a 4-worker run. Seed 2 is a grid
+# where every counter is naturally nonzero (refusals, spills,
+# migrations, and strandings all occur), so -require can demand all 12.
+fleet-smoke: build
+	rm -rf $(SMOKE) && mkdir -p $(SMOKE)
+	$(GO) run ./cmd/ffsim -fig fleet -fleet-relays 1,3 -fleet-clients 20,40 -workers 1 -sic-trials 0 -seed 2 -manifest $(SMOKE)/fleet.json > /dev/null
+	$(GO) run ./cmd/ffsim -fig fleet -fleet-relays 1,3 -fleet-clients 20,40 -workers 4 -sic-trials 0 -seed 2 -manifest $(SMOKE)/fleet-w4.json > /dev/null
+	$(GO) run ./cmd/manifestcheck -require fleet.cells,fleet.relays,fleet.clients,fleet.assigned,fleet.refused,fleet.spilled,fleet.migrations,fleet.stranded,fleet.amp_db,fleet.relay_sessions,fleet.aggregate_mbps,fleet.p99_client_mbps $(SMOKE)/fleet.json
+	$(GO) run ./cmd/manifestcheck -diff $(SMOKE)/fleet.json $(SMOKE)/fleet-w4.json
+	rm -rf $(SMOKE)
+
 # Short fuzz runs over every fuzz target (go accepts one -fuzz target per
 # invocation). Seed corpora make even short runs meaningful; CI runs this
 # with the default budget. Override with e.g. FUZZTIME=2m.
@@ -90,6 +103,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzChainSegmentation$$' -fuzztime $(FUZZTIME) ./internal/pipeline
 	$(GO) test -run '^$$' -fuzz '^FuzzSoARoundTrip$$' -fuzztime $(FUZZTIME) ./internal/dsp
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/relayd
+	$(GO) test -run '^$$' -fuzz '^FuzzAssignment$$' -fuzztime $(FUZZTIME) ./internal/fleet
 
 # Record the perf baseline (see EXPERIMENTS.md "Performance baseline").
 # The pipeline micro-benchmarks (relay block path + SIC filter direct vs

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ffsim [-fig all|12|13|14|15|16|17|18|deg|sessions] [-seed N] [-grid meters] [-stride n] [-workers n]
+//	ffsim [-fig all|12|13|14|15|16|17|18|deg|fleet|sessions] [-seed N] [-grid meters] [-stride n] [-workers n]
 //	      [-impair profile[,k=v...]] [-manifest out.json] [-pprof addr] [-cpuprofile f] [-memprofile f]
 //
 // -impair degrades the relay with a hardware-impairment profile (see
@@ -11,6 +11,12 @@
 // profiles like adc or stale-csi, optionally overlaid with key=value
 // knobs). -fig deg sweeps the whole severity ladder per scenario and
 // reports the graceful-degradation summary.
+//
+// -fig fleet runs the relay-pool sweep (internal/fleet): aggregate
+// throughput and p99 client rate versus relay count × client density,
+// with a forced severity event and rebalance per cell. It is shaped by
+// -fleet-scenario, -fleet-relays, -fleet-clients, and -fleet-fail, and
+// publishes the fleet.* metrics.
 //
 // -fig sessions is a machine benchmark rather than a paper figure: it
 // binary-searches the largest number of concurrent 20 MHz full-duplex
@@ -28,6 +34,7 @@ import (
 	"strings"
 
 	"fastforward/cmd/internal/runmeta"
+	"fastforward/internal/fleet"
 	"fastforward/internal/floorplan"
 	"fastforward/internal/impair"
 	"fastforward/internal/obs"
@@ -40,13 +47,17 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: all, 12, 13, 14, 15, 16, 17, 18, deg")
+	fig := flag.String("fig", "all", "figure to reproduce: all, 12, 13, 14, 15, 16, 17, 18, deg, fleet")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	grid := flag.Float64("grid", 1.5, "client grid spacing in meters")
 	stride := flag.Int("stride", 4, "subcarrier evaluation stride (1 = all 52)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; results identical)")
 	sicTrials := flag.Int("sic-trials", 4, "cancellation-chain placements characterized for the manifest's sic.* metrics (0 disables)")
 	impairFlag := flag.String("impair", "", "impairment profile applied to every figure: name[,key=value...] (names: "+strings.Join(impair.Names(), ", ")+")")
+	fleetScenario := flag.String("fleet-scenario", "home", "fleet sweep floor plan (floorplan scenario name)")
+	fleetRelays := flag.String("fleet-relays", "1,2,4,8", "fleet sweep relay counts (comma-separated)")
+	fleetClients := flag.String("fleet-clients", "50,100,200", "fleet sweep client densities (comma-separated)")
+	fleetFail := flag.String("fleet-fail", "severe", "severity the forced fleet event drives the busiest relay to (ideal, mild, moderate, severe, harsh)")
 	flag.Parse()
 
 	run := runmeta.Begin("ffsim")
@@ -92,6 +103,9 @@ func main() {
 	runFig("17", fig17)
 	runFig("18", fig18)
 	runFig("deg", figDeg)
+	runFig("fleet", func(cfg testbed.Config) {
+		figFleet(*fleetScenario, *fleetRelays, *fleetClients, *fleetFail, *seed, *workers, run.Registry())
+	})
 	// The sessions sweep is a wall-clock machine benchmark, not a paper
 	// figure: it only runs when asked for, never under "all".
 	if *fig == "sessions" {
@@ -101,7 +115,7 @@ func main() {
 	}
 	if *fig != "all" {
 		switch *fig {
-		case "12", "13", "14", "15", "16", "17", "18", "deg", "sessions":
+		case "12", "13", "14", "15", "16", "17", "18", "deg", "fleet", "sessions":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 			os.Exit(2)
@@ -187,6 +201,71 @@ func figDeg(cfg testbed.Config) {
 	fmt.Println("  (cancellation loss is monotone by construction; amplification clamps to")
 	fmt.Println("   the residual-aware noise rule, so throughput degrades without feedback")
 	fmt.Println("   instability — the relay fails soft toward the no-relay baseline)")
+}
+
+func figFleet(scenario, relayList, clientList, fail string, seed int64, workers int, reg *obs.Registry) {
+	relays, err := parseIntList(relayList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-fleet-relays: %v\n", err)
+		os.Exit(2)
+	}
+	clients, err := parseIntList(clientList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-fleet-clients: %v\n", err)
+		os.Exit(2)
+	}
+	sev, ok := impair.SeverityRank(fail)
+	if !ok {
+		ladder := make([]string, 5)
+		for i := range ladder {
+			ladder[i] = impair.SeverityName(i)
+		}
+		fmt.Fprintf(os.Stderr, "-fleet-fail: %q is not on the severity ladder (%s)\n",
+			fail, strings.Join(ladder, ", "))
+		os.Exit(2)
+	}
+
+	cfg := fleet.DefaultSweepConfig(seed)
+	cfg.ScenarioName = scenario
+	cfg.RelayCounts = relays
+	cfg.ClientCounts = clients
+	cfg.FailSeverity = sev
+	cfg.Workers = workers
+	cfg.Obs = reg
+	res, err := fleet.RunSweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleet sweep: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Println("== Fleet: aggregate throughput and p99 client rate vs relay count x client density ==")
+	fmt.Printf("  scenario %s, forced event: busiest relay driven to %q, one rebalance\n",
+		res.Scenario, impair.SeverityName(sev))
+	fmt.Println("  relays clients assigned refused spilled | agg(Mbps)  p99(Mbps) | mig strand  agg'(Mbps) p99'(Mbps)")
+	for _, c := range res.Cells {
+		fmt.Printf("  %6d %7d %8d %7d %7d | %9.1f %10.3f | %3d %6d  %10.1f %10.3f\n",
+			c.Relays, c.Clients, c.Assigned, c.Refused, c.Spilled,
+			c.Healthy.AggregateMbps, c.Healthy.P99Mbps,
+			c.Migrations, c.Stranded,
+			c.Failed.AggregateMbps, c.Failed.P99Mbps)
+	}
+	fmt.Println("  (primed columns are the post-event service level: clients migrate off the")
+	fmt.Println("   degraded relay make-before-break, spill to the next-best fingerprint match,")
+	fmt.Println("   or strand on the dark relay with their sticky grant)")
+}
+
+// parseIntList parses a comma-separated list of positive ints.
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad count %q (want positive integers)", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func figSessions(reg *obs.Registry, seed int64) {

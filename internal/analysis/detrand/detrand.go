@@ -50,7 +50,7 @@ type Config struct {
 var defaultSweep = []string{
 	"internal/testbed", "internal/par", "internal/ident", "internal/impair",
 	"internal/sic", "internal/cnf", "internal/relay", "internal/obs",
-	"internal/pipeline",
+	"internal/pipeline", "internal/fleet",
 }
 
 // The relay daemon and its binary are allowlisted for the wall clock:

@@ -198,6 +198,27 @@ func (c *Classifier) Enroll(clientID int, fp Fingerprint) {
 	c.db = append(c.db, u)
 }
 
+// Forget removes a client's fingerprint from the database, reporting
+// whether it was enrolled. The fleet scheduler calls this when a client
+// migrates to another relay: the paper's relays only forward packets for
+// clients of their own network, so a departed client must stop matching
+// here (and would otherwise shadow near-identical fingerprints as an
+// ambiguity rejection). Removal preserves enrollment order, keeping
+// Classify deterministic.
+func (c *Classifier) Forget(clientID int) bool {
+	for i, id := range c.ids {
+		if id == clientID {
+			c.ids = append(c.ids[:i], c.ids[i+1:]...)
+			c.db = append(c.db[:i], c.db[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Enrolled returns the number of clients in the database.
+func (c *Classifier) Enrolled() int { return len(c.ids) }
+
 // Classify returns the best-matching enrolled client and true, or
 // (0, false) if no client is within the threshold (a false negative when
 // the sender was enrolled — harmless, the relay just doesn't forward).

@@ -171,6 +171,62 @@ func TestClassifierScaleInvariant(t *testing.T) {
 	}
 }
 
+func TestClassifierForget(t *testing.T) {
+	src := rng.New(9)
+	cls := NewClassifier(AggressiveThreshold)
+	carriers := STFCarriers(10)
+	chans := make([][]complex128, 4)
+	for c := 0; c < 4; c++ {
+		ch := channel.NewRayleigh(src, 4, 0.5, 1)
+		chans[c] = ch.ResponseVector(carriers, 64)
+		cls.Enroll(c, Fingerprint(chans[c]))
+	}
+	if n := cls.Enrolled(); n != 4 {
+		t.Fatalf("Enrolled() = %d, want 4", n)
+	}
+	if !cls.Forget(2) {
+		t.Fatal("Forget(2) = false for enrolled client")
+	}
+	if cls.Forget(2) {
+		t.Fatal("Forget(2) = true after removal")
+	}
+	if n := cls.Enrolled(); n != 3 {
+		t.Fatalf("Enrolled() = %d after Forget, want 3", n)
+	}
+	// The departed client no longer matches; the survivors still do.
+	if got, ok := cls.Classify(Fingerprint(chans[2])); ok {
+		t.Errorf("forgotten client still classifies as %d", got)
+	}
+	for _, c := range []int{0, 1, 3} {
+		got, ok := cls.Classify(Fingerprint(chans[c]))
+		if !ok || got != c {
+			t.Errorf("client %d misclassified after Forget (ok=%v id=%d)", c, ok, got)
+		}
+	}
+	// Re-enrollment brings the client back.
+	cls.Enroll(2, Fingerprint(chans[2]))
+	if got, ok := cls.Classify(Fingerprint(chans[2])); !ok || got != 2 {
+		t.Errorf("re-enrolled client misclassified (ok=%v id=%d)", ok, got)
+	}
+}
+
+func TestSTFCarriersMatchesStudy(t *testing.T) {
+	for _, n := range []int{1, 10, 12, 20} {
+		pub, priv := STFCarriers(n), stfCarriers(n)
+		if len(pub) != len(priv) {
+			t.Fatalf("STFCarriers(%d) length %d != stfCarriers %d", n, len(pub), len(priv))
+		}
+		for i := range pub {
+			if pub[i] != priv[i] {
+				t.Fatalf("STFCarriers(%d)[%d] = %d, want %d", n, i, pub[i], priv[i])
+			}
+		}
+	}
+	if got := len(STFCarriers(20)); got != 12 {
+		t.Fatalf("STFCarriers(20) length %d, want clamp to 12", got)
+	}
+}
+
 func TestStudyAggressiveVsPassive(t *testing.T) {
 	// Fig 21's headline: the aggressive threshold has ~zero false
 	// positives with a ~5% false-negative rate; the passive threshold

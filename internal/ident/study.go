@@ -155,6 +155,19 @@ func RunStudy(src *rng.Source, cfg StudyConfig) StudyResult {
 	return res
 }
 
+// STFCarriers returns the n measured STF subcarrier indices in the order
+// the study samples them (the fleet layer fingerprints clients on the
+// same comb so its identifiability matches RunStudy's). n above 12 is
+// clamped; the paper's technique uses 10.
+func STFCarriers(n int) []int { return stfCarriers(n) }
+
+// Measure returns a noisy fingerprint of the channel vector at the given
+// measurement SNR: per-subcarrier complex Gaussian noise scaled so the
+// mean subcarrier power sits snrDB above the noise variance.
+func Measure(src *rng.Source, ch []complex128, snrDB float64) Fingerprint {
+	return measure(src, ch, snrDB)
+}
+
 // measure returns a noisy fingerprint of the channel vector at the given
 // measurement SNR.
 func measure(src *rng.Source, ch []complex128, snrDB float64) Fingerprint {

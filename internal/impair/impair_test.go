@@ -280,6 +280,33 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestSeverityRank(t *testing.T) {
+	ladder := SeverityLadder()
+	for i, p := range ladder {
+		rank, ok := SeverityRank(p.Name)
+		if !ok || rank != i {
+			t.Errorf("SeverityRank(%q) = %d, %v; want %d, true", p.Name, rank, ok, i)
+		}
+		if got := SeverityName(i); got != p.Name {
+			t.Errorf("SeverityName(%d) = %q, want %q", i, got, p.Name)
+		}
+	}
+	if rank, ok := SeverityRank(" Severe "); !ok || rank != 3 {
+		t.Errorf("SeverityRank with case/space = %d, %v; want 3, true", rank, ok)
+	}
+	for _, n := range []string{"cfo", "stale-csi", "nonsense", ""} {
+		if _, ok := SeverityRank(n); ok {
+			t.Errorf("SeverityRank(%q) accepted a non-ladder name", n)
+		}
+	}
+	if got := SeverityName(-3); got != "ideal" {
+		t.Errorf("SeverityName(-3) = %q, want ideal", got)
+	}
+	if got := SeverityName(99); got != "harsh" {
+		t.Errorf("SeverityName(99) = %q, want harsh", got)
+	}
+}
+
 func absSq(z complex128) float64 {
 	return real(z)*real(z) + imag(z)*imag(z)
 }

@@ -94,11 +94,41 @@ var named = map[string]Profile{
 // SeverityLadder returns the composite profiles ordered from ideal to
 // worst — the default degradation sweep.
 func SeverityLadder() []Profile {
-	out := make([]Profile, 0, 5)
-	for _, n := range []string{"ideal", "mild", "moderate", "severe", "harsh"} {
+	out := make([]Profile, 0, len(severityOrder))
+	for _, n := range severityOrder {
 		out = append(out, named[n])
 	}
 	return out
+}
+
+// severityOrder names the ladder rungs from ideal (0) to harsh (4).
+var severityOrder = []string{"ideal", "mild", "moderate", "severe", "harsh"}
+
+// SeverityRank returns a profile name's position on the severity ladder
+// (0 = ideal … 4 = harsh) and true, or (0, false) for names that are not
+// ladder rungs (including the single-axis attribution profiles). The
+// fleet layer uses ranks as relay health states, so hysteresis thresholds
+// compare ranks, never strings.
+func SeverityRank(name string) (int, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	for i, n := range severityOrder {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// SeverityName returns the ladder rung name for a rank (clamped to the
+// ladder's ends), the inverse of SeverityRank.
+func SeverityName(rank int) string {
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(severityOrder) {
+		rank = len(severityOrder) - 1
+	}
+	return severityOrder[rank]
 }
 
 // Names lists every named profile, sorted.

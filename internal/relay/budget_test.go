@@ -213,5 +213,5 @@ func TestBudgetPreview(t *testing.T) {
 }
 
 func id(i int) string {
-	return string(rune('a' + i%26)) + string(rune('0'+i/26))
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
 }

@@ -1,0 +1,104 @@
+package relayd
+
+import (
+	"strconv"
+	"sync"
+
+	"fastforward/internal/relay"
+)
+
+// Gate is one relay front-end's admission domain, extracted from the
+// daemon so other layers (the fleet scheduler in internal/fleet, tests)
+// can run the exact admission policy a live ffrelayd applies: the
+// session-count cap, then the aggregate Sec 3.5 residual budget
+// (relay.BudgetAccount), with the strict-or-degrade grant policy.
+//
+// The daemon's remaining refusal causes — drain state, malformed HELLOs,
+// token-bucket throttling — are lifecycle and transport concerns and stay
+// in Server; the Gate is the physics-and-capacity core that makes one
+// relay "full". Refusals are reported with the same stable Refuse codes
+// the wire protocol uses, so a fleet-level spill decision and a REFUSE
+// frame are driven by the same value.
+//
+// A Gate is safe for concurrent use; the daemon calls it under its own
+// lock as well, which keeps cap check and budget admission atomic with
+// session registration.
+type Gate struct {
+	mu          sync.Mutex
+	maxSessions int
+	degrade     bool
+	budget      *relay.BudgetAccount
+}
+
+// NewGate builds an admission gate. maxSessions <= 0 leaves the session
+// count uncapped; minAmpDB is the least useful amplification grant
+// (relay.NewBudgetAccount); degrade selects AdmitDegraded instead of the
+// strict Admit policy.
+func NewGate(maxSessions int, minAmpDB float64, degrade bool) *Gate {
+	return &Gate{
+		maxSessions: maxSessions,
+		degrade:     degrade,
+		budget:      relay.NewBudgetAccount(minAmpDB),
+	}
+}
+
+// Admit runs the admission decision for one candidate session: the cap
+// first, then the budget under the configured policy. On success the
+// grant is sticky until Release(id). degraded reports that the degrade
+// policy bisected the grant below the candidate's own bound. On refusal
+// the returned Refuse carries the stable wire code (RefuseSessionLimit
+// or RefuseBudget) plus a human-readable detail.
+func (g *Gate) Admit(id string, sb relay.SessionBudget) (dec relay.AmpDecision, degraded bool, ref *Refuse) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.maxSessions > 0 && g.budget.Len() >= g.maxSessions {
+		return relay.AmpDecision{}, false, &Refuse{Code: RefuseSessionLimit,
+			Detail: "max_sessions=" + strconv.Itoa(g.maxSessions) + " reached"}
+	}
+	var err error
+	if g.degrade {
+		dec, degraded, err = g.budget.AdmitDegraded(id, sb)
+	} else {
+		dec, err = g.budget.Admit(id, sb)
+	}
+	if err != nil {
+		return dec, false, &Refuse{Code: RefuseBudget, Detail: err.Error()}
+	}
+	return dec, degraded, nil
+}
+
+// Release frees an admitted session's budget slot. Reports whether the
+// id was admitted.
+func (g *Gate) Release(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.budget.Release(id)
+}
+
+// Active returns the number of sessions currently holding grants.
+func (g *Gate) Active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.budget.Len()
+}
+
+// ResidualLoad returns the admitted sessions' aggregate residual load
+// L = Σ β_i·A_i (relay.BudgetAccount.ResidualLoad).
+func (g *Gate) ResidualLoad() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.budget.ResidualLoad()
+}
+
+// Decision returns the sticky grant of an admitted session.
+func (g *Gate) Decision(id string) (relay.AmpDecision, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.budget.Decision(id)
+}
+
+// MinAmpDB returns the configured admission threshold.
+func (g *Gate) MinAmpDB() float64 { return g.budget.MinAmpDB() }
+
+// MaxSessions returns the configured session cap (0 = uncapped).
+func (g *Gate) MaxSessions() int { return g.maxSessions }

@@ -1,0 +1,166 @@
+package relayd
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"fastforward/internal/relay"
+)
+
+// gateBudget is a comfortable Sec 3.5 budget: high cancellation, strong
+// R->D attenuation, generous PA headroom.
+func gateBudget() relay.SessionBudget {
+	return relay.SessionBudget{
+		CancellationDB: 110,
+		RDAttenDB:      60,
+		PAHeadroomDB:   40,
+		RxOverNoiseDB:  30,
+	}
+}
+
+// TestGateMirrorsBudgetAccount replays a Gate admission sequence against
+// a bare relay.BudgetAccount and requires identical grants: the Gate must
+// be a pure wrapper, not a second policy.
+func TestGateMirrorsBudgetAccount(t *testing.T) {
+	g := NewGate(0, 0, false)
+	ref := relay.NewBudgetAccount(0)
+	for i := 0; i < 8; i++ {
+		id := strconv.Itoa(i)
+		dec, degraded, refz := g.Admit(id, gateBudget())
+		want, err := ref.Admit(id, gateBudget())
+		if (refz != nil) != (err != nil) {
+			t.Fatalf("session %d: gate refuse %v, account err %v", i, refz, err)
+		}
+		if refz != nil {
+			continue
+		}
+		if degraded {
+			t.Fatalf("session %d: degraded grant from strict gate", i)
+		}
+		if dec != want {
+			t.Fatalf("session %d: gate grant %+v, account grant %+v", i, dec, want)
+		}
+	}
+	if g.Active() != ref.Len() {
+		t.Fatalf("active %d, account len %d", g.Active(), ref.Len())
+	}
+	if g.ResidualLoad() != ref.ResidualLoad() {
+		t.Fatalf("residual load %v, account %v", g.ResidualLoad(), ref.ResidualLoad())
+	}
+}
+
+// TestGateSessionLimit checks the cap refusal code and that Release
+// reopens the slot.
+func TestGateSessionLimit(t *testing.T) {
+	g := NewGate(2, 0, false)
+	for i := 0; i < 2; i++ {
+		if _, _, ref := g.Admit(strconv.Itoa(i), gateBudget()); ref != nil {
+			t.Fatalf("session %d refused: %+v", i, ref)
+		}
+	}
+	_, _, ref := g.Admit("2", gateBudget())
+	if ref == nil || ref.Code != RefuseSessionLimit {
+		t.Fatalf("over-cap admit: got %+v, want code %q", ref, RefuseSessionLimit)
+	}
+	if !g.Release("0") {
+		t.Fatal("Release(0) = false for admitted session")
+	}
+	if _, _, ref := g.Admit("2", gateBudget()); ref != nil {
+		t.Fatalf("admit after release refused: %+v", ref)
+	}
+	if g.Active() != 2 {
+		t.Fatalf("Active() = %d, want 2", g.Active())
+	}
+}
+
+// tightSession is a marginal budget whose grants load the shared floor
+// heavily; with minAmpDB pinned 2 dB under its solo grant, a strict gate
+// refuses after four admissions and degrade rescues exactly one more
+// (same shape as the BudgetAccount boundary tests).
+func tightSession() (relay.SessionBudget, float64) {
+	s := relay.SessionBudget{CancellationDB: 70, RDAttenDB: 60, PAHeadroomDB: 40, RxOverNoiseDB: 40}
+	alone := relay.ChooseAmplificationResidualDB(s.CancellationDB, s.RDAttenDB, s.PAHeadroomDB, s.RxOverNoiseDB, true)
+	return s, alone.AmpDB - 2
+}
+
+// TestGateBudgetRefusal drives the aggregate budget to refusal with
+// marginal sessions and checks the wire code.
+func TestGateBudgetRefusal(t *testing.T) {
+	tight, minAmp := tightSession()
+	g := NewGate(0, minAmp, false)
+	refused := false
+	for i := 0; i < 64 && !refused; i++ {
+		_, _, ref := g.Admit(strconv.Itoa(i), tight)
+		if ref != nil {
+			if ref.Code != RefuseBudget {
+				t.Fatalf("refusal code %q, want %q (detail %q)", ref.Code, RefuseBudget, ref.Detail)
+			}
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("64 marginal sessions all admitted; budget refusal never hit")
+	}
+}
+
+// TestGateDegrade checks the degrade policy admits past the strict
+// refusal point with shrunken grants.
+func TestGateDegrade(t *testing.T) {
+	tight, minAmp := tightSession()
+	strict := NewGate(0, minAmp, false)
+	soft := NewGate(0, minAmp, true)
+	strictAdmits := 0
+	for i := 0; i < 64; i++ {
+		if _, _, ref := strict.Admit(strconv.Itoa(i), tight); ref != nil {
+			break
+		}
+		strictAdmits++
+	}
+	softAdmits, sawDegraded := 0, false
+	for i := 0; i < 64; i++ {
+		_, degraded, ref := soft.Admit(strconv.Itoa(i), tight)
+		if ref != nil {
+			break
+		}
+		softAdmits++
+		sawDegraded = sawDegraded || degraded
+	}
+	if softAdmits <= strictAdmits {
+		t.Fatalf("degrade admits %d <= strict admits %d", softAdmits, strictAdmits)
+	}
+	if !sawDegraded {
+		t.Fatal("degrade gate never reported a degraded grant")
+	}
+}
+
+// TestGateConcurrent hammers one gate from several goroutines under
+// -race: admissions must stay within the cap and every grant must be
+// retrievable until released.
+func TestGateConcurrent(t *testing.T) {
+	const cap = 8
+	g := NewGate(cap, 0, false)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				id := strconv.Itoa(w*32 + i)
+				if _, _, ref := g.Admit(id, gateBudget()); ref == nil {
+					if _, ok := g.Decision(id); !ok {
+						t.Errorf("admitted %s has no decision", id)
+					}
+					if n := g.Active(); n > cap {
+						t.Errorf("active %d exceeds cap %d", n, cap)
+					}
+					g.Release(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := g.Active(); n != 0 {
+		t.Fatalf("Active() = %d after all releases, want 0", n)
+	}
+}

@@ -86,16 +86,16 @@ func TestValidateRejectsBadParams(t *testing.T) {
 		t.Fatalf("valid params rejected: %v", err)
 	}
 	mutations := map[string]func(*SessionParams){
-		"zero rate":       func(p *SessionParams) { p.SampleRateHz = 0 },
-		"nan rate":        func(p *SessionParams) { p.SampleRateHz = math.NaN() },
-		"zero block":      func(p *SessionParams) { p.BlockSamples = 0 },
-		"huge block":      func(p *SessionParams) { p.BlockSamples = MaxFramePayload },
-		"zero taps":       func(p *SessionParams) { p.CancelTaps = 0 },
-		"huge cnf":        func(p *SessionParams) { p.CNFTaps = 1 << 20 },
-		"inf cfo":         func(p *SessionParams) { p.CFOHz = math.Inf(1) },
-		"nan cancel":      func(p *SessionParams) { p.CancellationDB = math.NaN() },
-		"inf rd":          func(p *SessionParams) { p.RDAttenDB = math.Inf(1) },
-		"-inf headroom":   func(p *SessionParams) { p.PAHeadroomDB = math.Inf(-1) },
+		"zero rate":        func(p *SessionParams) { p.SampleRateHz = 0 },
+		"nan rate":         func(p *SessionParams) { p.SampleRateHz = math.NaN() },
+		"zero block":       func(p *SessionParams) { p.BlockSamples = 0 },
+		"huge block":       func(p *SessionParams) { p.BlockSamples = MaxFramePayload },
+		"zero taps":        func(p *SessionParams) { p.CancelTaps = 0 },
+		"huge cnf":         func(p *SessionParams) { p.CNFTaps = 1 << 20 },
+		"inf cfo":          func(p *SessionParams) { p.CFOHz = math.Inf(1) },
+		"nan cancel":       func(p *SessionParams) { p.CancellationDB = math.NaN() },
+		"inf rd":           func(p *SessionParams) { p.RDAttenDB = math.Inf(1) },
+		"-inf headroom":    func(p *SessionParams) { p.PAHeadroomDB = math.Inf(-1) },
 		"+inf rxovernoise": func(p *SessionParams) { p.RxOverNoiseDB = math.Inf(1) },
 	}
 	for name, mutate := range mutations {

@@ -34,7 +34,6 @@ import (
 
 	"fastforward/internal/obs"
 	"fastforward/internal/pipeline"
-	"fastforward/internal/relay"
 )
 
 // Config tunes one Server. The zero value of a limit disables it; start
@@ -146,7 +145,7 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	listeners []net.Listener
 	nextID    uint64
-	budget    *relay.BudgetAccount
+	gate      *Gate
 	batch     *pipeline.Batch
 
 	global *tokenBucket
@@ -176,7 +175,7 @@ func New(cfg Config) *Server {
 		m:        newMetrics(cfg.Registry),
 		sessions: make(map[uint64]*Session),
 		conns:    make(map[net.Conn]struct{}),
-		budget:   relay.NewBudgetAccount(cfg.MinAmpDB),
+		gate:     NewGate(cfg.MaxSessions, cfg.MinAmpDB, cfg.Degrade),
 		batch:    pipeline.NewDynamicBatch("relayd", pipeline.SessionStageNames()...),
 		global:   newTokenBucket(cfg.GlobalRate, float64(cfg.BurstSamples)),
 		execCh:   make(chan *execReq),
@@ -347,35 +346,22 @@ func (s *Server) setWriteDeadline(conn net.Conn) {
 	}
 }
 
-// admit runs the admission gate under the server lock: drain state, the
-// session cap, then the aggregate Sec 3.5 residual budget. On success the
-// session is registered, its chain joins the shared batch, and the
-// post-admission residual load is returned for the ACCEPT frame.
+// admit runs the admission path under the server lock: drain state, then
+// the extracted Gate (session cap + aggregate Sec 3.5 residual budget).
+// On success the session is registered, its chain joins the shared batch,
+// and the post-admission residual load is returned for the ACCEPT frame.
 func (s *Server) admit(p SessionParams, remote string) (*Session, float64, *Refuse) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining.Load() {
 		return nil, 0, &Refuse{Code: RefuseDraining, Detail: "daemon is draining"}
 	}
-	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
-		return nil, 0, &Refuse{Code: RefuseSessionLimit,
-			Detail: "max_sessions=" + strconv.Itoa(s.cfg.MaxSessions) + " reached"}
-	}
 	id := s.nextID
 	s.nextID++
 	key := strconv.FormatUint(id, 10)
-	var (
-		dec      relay.AmpDecision
-		degraded bool
-		err      error
-	)
-	if s.cfg.Degrade {
-		dec, degraded, err = s.budget.AdmitDegraded(key, p.budget())
-	} else {
-		dec, err = s.budget.Admit(key, p.budget())
-	}
-	if err != nil {
-		return nil, 0, &Refuse{Code: RefuseBudget, Detail: err.Error()}
+	dec, degraded, ref := s.gate.Admit(key, p.budget())
+	if ref != nil {
+		return nil, 0, ref
 	}
 	sess := &Session{
 		ID:       id,
@@ -396,7 +382,7 @@ func (s *Server) admit(p SessionParams, remote string) (*Session, float64, *Refu
 	}
 	s.m.ampGrantedDB.Observe(sess.shard, dec.AmpDB)
 	s.m.active.Set(float64(len(s.sessions)))
-	load := s.budget.ResidualLoad()
+	load := s.gate.ResidualLoad()
 	s.m.residualLoad.Set(load)
 	return sess, load, nil
 }
@@ -410,9 +396,9 @@ func (s *Server) release(sess *Session, completed bool) {
 	sess.state.Store(int32(StateClosed))
 	delete(s.sessions, sess.ID)
 	s.batch.Remove(sess.chain)
-	s.budget.Release(strconv.FormatUint(sess.ID, 10))
+	s.gate.Release(strconv.FormatUint(sess.ID, 10))
 	s.m.active.Set(float64(len(s.sessions)))
-	s.m.residualLoad.Set(s.budget.ResidualLoad())
+	s.m.residualLoad.Set(s.gate.ResidualLoad())
 	s.m.sessionBlocks.Observe(sess.shard, float64(sess.Blocks()))
 	if completed {
 		s.m.completed.Inc(sess.shard)

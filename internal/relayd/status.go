@@ -35,10 +35,10 @@ type AdmissionStatus struct {
 // Status is the /status JSON document: daemon state, per-session rows
 // (sorted by id), the admission gate, and the full obs snapshot.
 type Status struct {
-	State     string          `json:"state"` // "serving" or "draining"
-	UptimeS   float64         `json:"uptime_s"`
-	Sessions  []SessionStatus `json:"sessions"`
-	Admission AdmissionStatus                `json:"admission"`
+	State     string                        `json:"state"` // "serving" or "draining"
+	UptimeS   float64                       `json:"uptime_s"`
+	Sessions  []SessionStatus               `json:"sessions"`
+	Admission AdmissionStatus               `json:"admission"`
 	Metrics   map[string]obs.MetricSnapshot `json:"metrics"`
 }
 
@@ -75,9 +75,9 @@ func (s *Server) Status() Status {
 	st.Admission = AdmissionStatus{
 		Active:       len(s.sessions),
 		MaxSessions:  s.cfg.MaxSessions,
-		MinAmpDB:     s.budget.MinAmpDB(),
+		MinAmpDB:     s.gate.MinAmpDB(),
 		Policy:       policy,
-		ResidualLoad: s.budget.ResidualLoad(),
+		ResidualLoad: s.gate.ResidualLoad(),
 	}
 	s.mu.Unlock()
 	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
