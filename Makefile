@@ -2,16 +2,19 @@
 #
 # `make check` is the pre-merge gate: the tier-1 flow (build + full test
 # suite) plus `go vet`, the fflint domain analyzers (determinism, seed
-# flow, dB-unit discipline, metric-name registry — see DESIGN.md §7), a
-# race-detector pass over the packages the parallel sweep engine made
-# concurrent (internal/par, internal/fft, internal/ident, and the
-# testbed's parallel paths), a manifest smoke run of every cmd binary
-# (see OBSERVABILITY.md), and the fleet sweep smoke (DESIGN.md §11).
+# flow, dB-unit discipline, metric-name registry, and the daemon/fleet
+# service discipline: lockscope, netdeadline, errflow, wirecodes — see
+# DESIGN.md §7), a race-detector pass over the packages the parallel
+# sweep engine made concurrent (internal/par, internal/fft,
+# internal/ident, and the testbed's parallel paths) with a drift guard
+# (racecheck) that fails if a concurrent package is missing from that
+# list, a manifest smoke run of every cmd binary (see OBSERVABILITY.md),
+# and the fleet sweep smoke (DESIGN.md §11).
 
 GO ?= go
 SMOKE := .smoke
 
-.PHONY: all build test vet lint race check bench bench-allocs bench-sessions manifest-smoke daemon-smoke fleet-smoke fuzz-smoke
+.PHONY: all build test vet lint race racecheck check bench bench-allocs bench-sessions manifest-smoke daemon-smoke fleet-smoke fuzz-smoke
 
 all: check
 
@@ -29,10 +32,21 @@ vet:
 # rng.ItemSeed), dbunits (dB/linear naming discipline), obsmetrics
 # (metric names match internal/obs/METRICS.txt, OBSERVABILITY.md, and
 # the manifestcheck -require lists above), allocfree (no per-block
-# allocation inside Process/ProcessInto bodies). Suppress a finding with
-# `//fflint:allow <analyzer> <reason>` — the reason is mandatory.
-lint: build
-	$(GO) run ./cmd/fflint ./...
+# allocation inside Process/ProcessInto bodies), lockscope (no blocking
+# work or lock-order inversions while a mutex is held), netdeadline
+# (conn I/O in internal/relayd is always deadline-armed), errflow (no
+# dropped errors on protocol/admission/status paths), wirecodes
+# (REFUSE/frame literals come from protocol.go, which cross-validates
+# against OPERATIONS.md). Suppress a finding with
+# `//fflint:allow <analyzer> <reason>` — the reason is mandatory, and
+# the driver audits the allows themselves: stale, unknown-analyzer, or
+# malformed ones are findings too. The binary is built once into
+# bin/fflint so repeated lints (and CI) reuse the compile.
+bin/fflint: $(shell find cmd/fflint internal/analysis -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o bin/fflint ./cmd/fflint
+
+lint: build bin/fflint
+	./bin/fflint ./...
 
 # The race pass runs the concurrent packages in full, plus the testbed's
 # parallel-vs-serial determinism tests (the full testbed suite under the
@@ -46,7 +60,13 @@ race:
 	$(GO) test -race -short ./internal/sic
 	$(GO) test -race -run 'Parallel|Slot|Determinism' ./internal/testbed
 
-check: test vet lint race manifest-smoke daemon-smoke fleet-smoke
+# Drift guard for the hand-maintained race list above: any package with
+# tests whose sources spawn goroutines, use channels/select, import
+# sync, or fan out through internal/par must appear in the race recipe.
+racecheck:
+	$(GO) run ./cmd/racecheck
+
+check: test vet lint race racecheck manifest-smoke daemon-smoke fleet-smoke
 
 # Run every cmd binary with -manifest on a tiny configuration and
 # validate the JSON it writes; ffsim additionally must report nonzero

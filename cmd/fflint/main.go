@@ -1,23 +1,37 @@
 // Command fflint is the repository's domain-specific static-analysis
-// suite: a multichecker running the four fastforward invariant analyzers
+// suite: a multichecker running the fastforward invariant analyzers
 //
-//	detrand    — no wall clock, global rand, or order-sensitive map
-//	             iteration in sweep-path packages
-//	seedflow   — rngs inside par work-item bodies are seeded from
-//	             rng.ItemSeed
-//	dbunits    — dB-named and linear-named floats never mix without an
-//	             explicit conversion
-//	obsmetrics — metric names match the checked-in registry, which in
-//	             turn matches OBSERVABILITY.md and the Makefile
-//	allocfree  — no per-block allocation (slice make outside a grow-once
-//	             guard, allocating dsp helpers) in Process/ProcessInto
-//	             hot paths of the signal-path packages
+//	detrand     — no wall clock, global rand, or order-sensitive map
+//	              iteration in sweep-path packages
+//	seedflow    — rngs inside par work-item bodies are seeded from
+//	              rng.ItemSeed
+//	dbunits     — dB-named and linear-named floats never mix without an
+//	              explicit conversion
+//	obsmetrics  — metric names match the checked-in registry, which in
+//	              turn matches OBSERVABILITY.md and the Makefile
+//	allocfree   — no per-block allocation (slice make outside a grow-once
+//	              guard, allocating dsp helpers) in Process/ProcessInto
+//	              hot paths of the signal-path packages
+//	lockscope   — no blocking operations while a mutex is held, no locked
+//	              early returns, and Pool→Server→Gate lock ordering in the
+//	              daemon/fleet layer
+//	netdeadline — every conn read/write in internal/relayd is reachable
+//	              only after a deadline is armed on that conn, and setter
+//	              errors are checked
+//	errflow     — no dropped error returns on protocol, admission, and
+//	              status paths
+//	wirecodes   — refuse-code and frame-type literals come from the
+//	              protocol.go registry, which cross-validates against
+//	              OPERATIONS.md
 //
 // over the packages named by its arguments (default ./...). Findings
 // print in go-vet style (file:line:col: analyzer: message) and a nonzero
 // exit reports that any survived. A site that is legitimate by design
 // carries a `//fflint:allow <analyzer> <reason>` comment; the reason is
-// part of the syntax.
+// part of the syntax. The driver also audits the suppressions themselves:
+// a stale allow (no longer suppressing anything), an allow naming an
+// unknown analyzer, or a malformed allow comment is a finding in its own
+// right (analyzer name `allowaudit`, itself not suppressible).
 //
 // Usage:
 //
@@ -34,8 +48,12 @@ import (
 	"fastforward/internal/analysis/dbunits"
 	"fastforward/internal/analysis/detrand"
 	"fastforward/internal/analysis/driver"
+	"fastforward/internal/analysis/errflow"
+	"fastforward/internal/analysis/lockscope"
+	"fastforward/internal/analysis/netdeadline"
 	"fastforward/internal/analysis/obsmetrics"
 	"fastforward/internal/analysis/seedflow"
+	"fastforward/internal/analysis/wirecodes"
 )
 
 func main() {
@@ -48,6 +66,10 @@ func main() {
 		dbunits.Default(),
 		obsmetrics.Default(),
 		allocfree.Default(),
+		lockscope.Default(),
+		netdeadline.Default(),
+		errflow.Default(),
+		wirecodes.Default(),
 	}
 
 	if *list {
@@ -66,7 +88,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fflint:", err)
 		os.Exit(2)
 	}
-	diags, err := driver.Run(wd, analyzers, patterns...)
+	diags, err := driver.RunAudited(wd, analyzers, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fflint:", err)
 		os.Exit(2)

@@ -51,6 +51,7 @@ var (
 	nBlocks     = flag.Int("blocks", 8, "stream: number of blocks to stream")
 	verify      = flag.Bool("verify", true, "stream: rebuild the session chain locally and require bit-identical output")
 	attempts    = flag.Int("attempts", 5, "stream: connection attempts before giving up (exponential backoff between)")
+	ioTimeout   = flag.Duration("io-timeout", 15*time.Second, "stream: deadline for each client frame exchange (0 = none)")
 
 	// Session parameters (stream and smoke HELLOs).
 	seed         = flag.Int64("seed", 1, "session seed: draws the chain taps, identically on daemon and client")
@@ -135,7 +136,11 @@ func serveMode(reg *obs.Registry) error {
 			return err
 		}
 		fmt.Printf("ffrelayd: status endpoint on http://%s/status\n", sln.Addr())
-		go srv.ServeStatus(sln)
+		go func() {
+			if err := srv.ServeStatus(sln); err != nil {
+				fmt.Fprintf(os.Stderr, "ffrelayd: status endpoint: %v\n", err)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -163,7 +168,7 @@ func serveMode(reg *obs.Registry) error {
 // to be bit-identical to a locally rebuilt session chain.
 func streamMode() error {
 	p := sessionParams()
-	c, err := relayd.Dial(*connectAddr, p, &relayd.Backoff{}, *attempts)
+	c, err := relayd.DialTimeout(*connectAddr, p, &relayd.Backoff{}, *attempts, *ioTimeout)
 	if err != nil {
 		return err
 	}
@@ -231,12 +236,20 @@ func smokeMode(reg *obs.Registry) error {
 	if err != nil {
 		return err
 	}
-	go srv.Serve(ln)
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			fmt.Fprintf(os.Stderr, "smoke: serve: %v\n", err)
+		}
+	}()
 	sln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	go srv.ServeStatus(sln)
+	go func() {
+		if err := srv.ServeStatus(sln); err != nil {
+			fmt.Fprintf(os.Stderr, "smoke: status endpoint: %v\n", err)
+		}
+	}()
 	addr := ln.Addr().String()
 	statusURL := "http://" + sln.Addr().String()
 
@@ -248,7 +261,7 @@ func smokeMode(reg *obs.Registry) error {
 	for i := range clients {
 		params[i] = sessionParams()
 		params[i].Seed = int64(100 + i)
-		c, err := relayd.Dial(addr, params[i], &relayd.Backoff{}, *attempts)
+		c, err := relayd.DialTimeout(addr, params[i], &relayd.Backoff{}, *attempts, *ioTimeout)
 		if err != nil {
 			return fmt.Errorf("smoke: admitting session %d: %w", i, err)
 		}
@@ -270,7 +283,7 @@ func smokeMode(reg *obs.Registry) error {
 	noisy := sessionParams()
 	noisy.Seed = 999
 	noisy.CancellationDB, noisy.RxOverNoiseDB = 55, 52
-	_, err = relayd.Dial(addr, noisy, &relayd.Backoff{}, 1)
+	_, err = relayd.DialTimeout(addr, noisy, &relayd.Backoff{}, 1, *ioTimeout)
 	var refused *relayd.RefusedError
 	if !errors.As(err, &refused) || refused.Code != relayd.RefuseBudget {
 		return fmt.Errorf("smoke: over-budget session: want budget refusal, got %v", err)
@@ -307,7 +320,11 @@ func smokeMode(reg *obs.Registry) error {
 	if err := srv.Drain(ctx); err != nil {
 		return fmt.Errorf("smoke: drain: %w", err)
 	}
-	if code, _ := getStatusCode(statusURL + "/healthz"); code != http.StatusServiceUnavailable {
+	code, err := getStatusCode(statusURL + "/healthz")
+	if err != nil {
+		return fmt.Errorf("smoke: /healthz while draining: %w", err)
+	}
+	if code != http.StatusServiceUnavailable {
 		return fmt.Errorf("smoke: /healthz while draining = %d, want 503", code)
 	}
 	fmt.Println("smoke: drained cleanly; all checks passed")

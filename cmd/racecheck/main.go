@@ -1,0 +1,45 @@
+// Command racecheck fails when a concurrent package is missing from the
+// Makefile's `race:` target. A package counts as concurrent when its
+// sources spawn goroutines, use select or channels, import sync, or fan
+// work out through internal/par — and it has tests for the race detector
+// to run. Extra race-target entries are fine; missing ones are drift.
+//
+// Usage:
+//
+//	racecheck [module-root]
+//
+// Exit status 1 means the race list has drifted; the output names each
+// missing package and why it needs coverage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fastforward/internal/analysis/racelist"
+)
+
+func main() {
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	missing, concurrent, err := racelist.Missing(root, filepath.Join(root, "Makefile"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racecheck:", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		for _, pkg := range missing {
+			fmt.Printf("racecheck: ./%s is concurrent (%s) but absent from the Makefile race target\n",
+				pkg, strings.Join(concurrent[pkg], ", "))
+		}
+		fmt.Fprintf(os.Stderr, "racecheck: %d package(s) missing race coverage\n", len(missing))
+		os.Exit(1)
+	}
+	fmt.Printf("racecheck: all %d concurrent packages are race-tested\n", len(concurrent))
+}

@@ -75,21 +75,38 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
+// AllowUse identifies one fflint:allow comment that suppressed at least
+// one diagnostic during a RunAnalyzers call: the file and line the
+// comment lives on, and the analyzer it suppressed. The driver compares
+// these against CollectAllows to find stale allows.
+type AllowUse struct {
+	File     string
+	Line     int
+	Analyzer string
+}
+
 // RunAnalyzers applies each analyzer to the package described by the pass
 // template and returns the findings sorted by position, with allowlisted
-// lines removed. The caller fills every Pass field except Analyzer and
-// the diagnostic sink.
-func RunAnalyzers(base Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+// lines removed. The second result lists the allow comments that earned
+// their keep by suppressing something. The caller fills every Pass field
+// except Analyzer and the diagnostic sink.
+func RunAnalyzers(base Pass, analyzers []*Analyzer) ([]Diagnostic, []AllowUse, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := base
 		pass.Analyzer = a
 		pass.diags = &diags
 		if err := a.Run(&pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %v", base.Pkg.Path(), a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %s: %v", base.Pkg.Path(), a.Name, err)
 		}
 	}
-	diags = filterSuppressed(diags)
+	diags, used := filterSuppressed(diags)
+	SortDiagnostics(diags)
+	return diags, used, nil
+}
+
+// SortDiagnostics orders diags by file, line, column, then message.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -103,7 +120,6 @@ func RunAnalyzers(base Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // allowRE matches `//fflint:allow <analyzer> <reason>`; the reason is
@@ -111,9 +127,12 @@ func RunAnalyzers(base Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
 var allowRE = regexp.MustCompile(`//fflint:allow\s+([a-z,]+)\s+\S`)
 
 // filterSuppressed drops diagnostics whose line (or the line above)
-// carries a matching fflint:allow comment.
-func filterSuppressed(diags []Diagnostic) []Diagnostic {
+// carries a matching fflint:allow comment, and records which allow
+// comment (by file and line) did the suppressing.
+func filterSuppressed(diags []Diagnostic) ([]Diagnostic, []AllowUse) {
 	lines := map[string][]string{} // filename -> lines
+	seen := map[AllowUse]bool{}
+	var used []AllowUse
 	out := diags[:0]
 	for _, d := range diags {
 		ls, ok := lines[d.Pos.Filename]
@@ -121,12 +140,24 @@ func filterSuppressed(diags []Diagnostic) []Diagnostic {
 			ls = readLines(d.Pos.Filename)
 			lines[d.Pos.Filename] = ls
 		}
-		if lineAllows(ls, d.Pos.Line, d.Analyzer, false) || lineAllows(ls, d.Pos.Line-1, d.Analyzer, true) {
+		allowLine := 0
+		switch {
+		case lineAllows(ls, d.Pos.Line, d.Analyzer, false):
+			allowLine = d.Pos.Line
+		case lineAllows(ls, d.Pos.Line-1, d.Analyzer, true):
+			allowLine = d.Pos.Line - 1
+		}
+		if allowLine > 0 {
+			u := AllowUse{File: d.Pos.Filename, Line: allowLine, Analyzer: d.Analyzer}
+			if !seen[u] {
+				seen[u] = true
+				used = append(used, u)
+			}
 			continue
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, used
 }
 
 // lineAllows reports whether 1-based line n of ls allowlists analyzer
@@ -151,6 +182,77 @@ func lineAllows(ls []string, n int, name string, commentOnly bool) bool {
 		}
 	}
 	return false
+}
+
+// Allow is one parsed fflint:allow directive comment: the file and line
+// it lives on, the analyzers it names, and the written reason.
+type Allow struct {
+	File      string
+	Line      int
+	Analyzers []string
+	Reason    string
+}
+
+// AuditName is the analyzer name under which allow-audit findings
+// (malformed, unknown-analyzer, and stale allows) are reported. It is not
+// itself suppressible — an allow comment cannot excuse its own rot.
+const AuditName = "allowaudit"
+
+// strictAllowRE is the full directive grammar: the marker, a comma-
+// separated analyzer list, and a non-empty reason.
+var strictAllowRE = regexp.MustCompile(`^//fflint:allow\s+([A-Za-z0-9_,-]+)\s+\S`)
+
+// CollectAllows parses every fflint:allow directive in files. A comment
+// whose text begins with the `//fflint:allow` marker but does not parse —
+// missing reason, empty or malformed analyzer list — is returned as a
+// diagnostic rather than silently ignored, so a typo cannot masquerade as
+// a suppression. Prose that merely mentions the marker mid-comment (docs,
+// examples) is not a directive and is skipped.
+func CollectAllows(fset *token.FileSet, files []*ast.File) ([]Allow, []Diagnostic) {
+	var allows []Allow
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//fflint:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := strictAllowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: AuditName,
+						Pos:      pos,
+						Message:  "malformed fflint:allow: want `//fflint:allow <analyzer>[,<analyzer>] <reason>` with a non-empty reason",
+					})
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				bad := false
+				for _, n := range names {
+					if n == "" {
+						bad = true
+					}
+				}
+				if bad {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: AuditName,
+						Pos:      pos,
+						Message:  "malformed fflint:allow: empty analyzer name in list",
+					})
+					continue
+				}
+				reason := strings.TrimSpace(c.Text[len(m[0])-1:])
+				allows = append(allows, Allow{
+					File:      pos.Filename,
+					Line:      pos.Line,
+					Analyzers: names,
+					Reason:    reason,
+				})
+			}
+		}
+	}
+	return allows, malformed
 }
 
 func readLines(filename string) []string {

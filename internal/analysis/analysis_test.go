@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"fastforward/internal/analysis"
@@ -54,7 +55,7 @@ func TestSuppression(t *testing.T) {
 			return nil
 		},
 	}
-	diags, err := analysis.RunAnalyzers(analysis.Pass{
+	diags, used, err := analysis.RunAnalyzers(analysis.Pass{
 		Fset:      fset,
 		Files:     []*ast.File{file},
 		Pkg:       types.NewPackage("p", "p"),
@@ -75,5 +76,74 @@ func TestSuppression(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("surviving diagnostics = %v, want %v", got, want)
 		}
+	}
+
+	// The three effective allows (trailing on b, standalone above c,
+	// trailing on f) must be reported as used; the reasonless allow on d
+	// and the mismatched one on e must not.
+	wantUsed := []analysis.AllowUse{
+		{File: path, Line: 4, Analyzer: "testcheck"},
+		{File: path, Line: 5, Analyzer: "testcheck"},
+		{File: path, Line: 9, Analyzer: "testcheck"},
+	}
+	if len(used) != len(wantUsed) {
+		t.Fatalf("used allows = %+v, want %+v", used, wantUsed)
+	}
+	for i := range wantUsed {
+		if used[i] != wantUsed[i] {
+			t.Fatalf("used allows = %+v, want %+v", used, wantUsed)
+		}
+	}
+}
+
+// The directive grammar: standalone and trailing allows parse with their
+// reasons; a marker with no reason, and an empty name in the analyzer
+// list, are malformed-allow diagnostics; prose that mentions the marker
+// mid-comment is not a directive.
+const collectSrc = `package p
+
+// The syntax is //fflint:allow <analyzer> <reason> (prose, not a directive).
+func a() {} //fflint:allow testcheck,othercheck shared justification
+//fflint:allow testcheck standalone reason
+func b() {}
+func c() {} //fflint:allow testcheck
+//fflint:allow ,testcheck empty first name
+func d() {}
+`
+
+func TestCollectAllows(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(collectSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows, malformed := analysis.CollectAllows(fset, []*ast.File{file})
+
+	if len(allows) != 2 {
+		t.Fatalf("allows = %+v, want 2 entries", allows)
+	}
+	if allows[0].Line != 4 || len(allows[0].Analyzers) != 2 || allows[0].Analyzers[1] != "othercheck" {
+		t.Errorf("first allow = %+v, want line 4 naming testcheck,othercheck", allows[0])
+	}
+	if allows[0].Reason != "shared justification" {
+		t.Errorf("first allow reason = %q, want %q", allows[0].Reason, "shared justification")
+	}
+	if allows[1].Line != 5 || allows[1].Reason != "standalone reason" {
+		t.Errorf("second allow = %+v, want line 5 with standalone reason", allows[1])
+	}
+
+	if len(malformed) != 2 {
+		t.Fatalf("malformed = %+v, want 2 diagnostics", malformed)
+	}
+	if malformed[0].Pos.Line != 7 || !strings.Contains(malformed[0].Message, "non-empty reason") {
+		t.Errorf("first malformed = %+v, want reasonless-allow diagnostic on line 7", malformed[0])
+	}
+	if malformed[1].Pos.Line != 8 || !strings.Contains(malformed[1].Message, "empty analyzer name") {
+		t.Errorf("second malformed = %+v, want empty-name diagnostic on line 8", malformed[1])
 	}
 }

@@ -53,7 +53,7 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgpath, err)
 	}
-	diags, err := analysis.RunAnalyzers(analysis.Pass{
+	diags, _, err := analysis.RunAnalyzers(analysis.Pass{
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,

@@ -155,7 +155,7 @@ func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]anal
 	}
 	var all []analysis.Diagnostic
 	for _, p := range pkgs {
-		diags, err := analysis.RunAnalyzers(analysis.Pass{
+		diags, _, err := analysis.RunAnalyzers(analysis.Pass{
 			Fset:      p.Fset,
 			Files:     p.Files,
 			Pkg:       p.Types,
@@ -167,5 +167,67 @@ func Run(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]anal
 		}
 		all = append(all, diags...)
 	}
+	return all, nil
+}
+
+// RunAudited is Run plus the allow audit: after every analyzer has run
+// over every package, each fflint:allow directive in the loaded sources
+// is checked against the suppressions that actually happened. Malformed
+// directives, directives naming an analyzer that is not registered, and
+// stale directives (well-formed, known analyzer, but suppressing nothing
+// this run) are appended as `allowaudit` diagnostics, so an allow cannot
+// outlive its reason. The audit diagnostics are not themselves
+// suppressible.
+func RunAudited(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	used := map[analysis.AllowUse]bool{}
+	var all []analysis.Diagnostic
+	var allows []analysis.Allow
+	for _, p := range pkgs {
+		diags, uses, err := analysis.RunAnalyzers(analysis.Pass{
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.TypesInfo,
+			ModuleDir: p.ModuleDir,
+		}, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+		for _, u := range uses {
+			used[u] = true
+		}
+		pkgAllows, malformed := analysis.CollectAllows(p.Fset, p.Files)
+		all = append(all, malformed...)
+		allows = append(allows, pkgAllows...)
+	}
+	for _, al := range allows {
+		for _, name := range al.Analyzers {
+			if !known[name] {
+				all = append(all, analysis.Diagnostic{
+					Analyzer: analysis.AuditName,
+					Pos:      token.Position{Filename: al.File, Line: al.Line, Column: 1},
+					Message:  fmt.Sprintf("fflint:allow names unknown analyzer %q", name),
+				})
+				continue
+			}
+			if !used[analysis.AllowUse{File: al.File, Line: al.Line, Analyzer: name}] {
+				all = append(all, analysis.Diagnostic{
+					Analyzer: analysis.AuditName,
+					Pos:      token.Position{Filename: al.File, Line: al.Line, Column: 1},
+					Message:  fmt.Sprintf("stale fflint:allow: %s no longer reports anything here (reason was: %s)", name, al.Reason),
+				})
+			}
+		}
+	}
+	analysis.SortDiagnostics(all)
 	return all, nil
 }

@@ -1,8 +1,10 @@
 package driver_test
 
 import (
+	"go/ast"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"fastforward/internal/analysis"
@@ -57,5 +59,129 @@ func TestDefaultAnalyzersCleanOnSweepPackages(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// writeModule lays out a throwaway module for the go-list-backed loader.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module m\n\ngo 1.22\n"
+	for path, content := range files {
+		full := filepath.Join(root, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// testAnalyzer flags every call to a function literally named bad.
+func testAnalyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "testcheck",
+		Doc:  "flags calls to bad()",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+							pass.Reportf(call.Pos(), "call to bad")
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func TestLoadRejectsBadPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	root := writeModule(t, map[string]string{"p/p.go": "package p\n"})
+	if _, err := driver.Load(root, "./nonexistent/..."); err == nil {
+		t.Fatal("expected an error for a pattern matching no packages")
+	}
+}
+
+func TestLoadSurfacesBrokenDependency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	// The dependency does not compile, so `go list -export` cannot
+	// produce export data for it; the loader must report that rather
+	// than type-check against a hole in the import graph.
+	root := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"m/b\"\n\nvar _ = b.V\n",
+		"b/b.go": "package b\n\nvar V = undefined\n",
+	})
+	if _, err := driver.Load(root, "./a"); err == nil {
+		t.Fatal("expected an error for a dependency with no export data")
+	}
+}
+
+func TestRunAuditedFlagsStaleUnknownAndMalformedAllows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	root := writeModule(t, map[string]string{"p/p.go": strings.Join([]string{
+		"package p",
+		"",
+		"func bad() {}",
+		"",
+		"func use() {",
+		"\tbad()",
+		"\tbad() //fflint:allow testcheck legitimate in this test",
+		"\tok()  //fflint:allow testcheck this allow is stale",
+		"\tok()  //fflint:allow nosuch unknown analyzer name",
+		"\tok()  //fflint:allow testcheck",
+		"}",
+		"",
+		"func ok() {}",
+		"",
+	}, "\n")})
+	diags, err := driver.RunAudited(root, []*analysis.Analyzer{testAnalyzer()}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		analyzer string
+		line     int
+	}
+	got := map[key]string{}
+	for _, d := range diags {
+		got[key{d.Analyzer, d.Pos.Line}] = d.Message
+	}
+	want := map[key]string{
+		{"testcheck", 6}:         "call to bad",
+		{analysis.AuditName, 8}:  "stale fflint:allow",
+		{analysis.AuditName, 9}:  "unknown analyzer",
+		{analysis.AuditName, 10}: "malformed fflint:allow",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(want), diags)
+	}
+	for k, substr := range want {
+		msg, ok := got[k]
+		if !ok {
+			t.Errorf("missing %s diagnostic at line %d:\n%v", k.analyzer, k.line, diags)
+			continue
+		}
+		if !strings.Contains(msg, substr) {
+			t.Errorf("line %d message %q does not mention %q", k.line, msg, substr)
+		}
+	}
+	// The suppressed finding on line 7 must not appear, and its allow
+	// must not be called stale.
+	for _, d := range diags {
+		if d.Pos.Line == 7 {
+			t.Errorf("line 7 should be cleanly suppressed, got: %s", d)
+		}
 	}
 }

@@ -1,0 +1,13 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/analysistest"
+	"fastforward/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	a := errflow.New(errflow.Config{Packages: []string{"errfixture"}})
+	analysistest.Run(t, "testdata", a, "errfixture")
+}

@@ -1,0 +1,70 @@
+// Package errfixture exercises errflow: dropped errors as expression
+// statements, blank assignments, and go statements; the legal defer,
+// Close, and fmt idioms; and the suppression path.
+package errfixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+func encode() error               { return errors.New("encode") }
+func write(b []byte) (int, error) { return len(b), nil }
+func value() int                  { return 1 }
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+// statusWrite is the pinned real finding: the daemon's /healthz and
+// /status handlers dropped every w.Write and enc.Encode error
+// (internal/relayd/status.go before the fix).
+func statusWrite(b []byte) {
+	write(b) // want `error from write dropped`
+}
+
+func dropped() {
+	encode() // want `error from encode dropped`
+}
+
+func blanked() {
+	_ = encode() // want `error from encode discarded into _`
+}
+
+func blankedSecond(b []byte) {
+	n, _ := write(b) // want `error from write discarded into _`
+	_ = n
+}
+
+func goDropped() {
+	go encode() // want `error from encode dropped by go statement`
+}
+
+func handled() error {
+	if err := encode(); err != nil {
+		return err
+	}
+	n, err := write(nil)
+	_ = n
+	return err
+}
+
+// deferClose and explicit Close are the idiomatic drops.
+func closers(c conn) {
+	defer c.Close()
+	c.Close()
+}
+
+// fmtOK: terminal printf is not a service path.
+func fmtOK() {
+	fmt.Println("status: ok")
+}
+
+// valueOK: non-error results may be discarded freely.
+func valueOK() {
+	value()
+}
+
+func allowed() {
+	encode() //fflint:allow errflow fixture exercises the suppression path
+}

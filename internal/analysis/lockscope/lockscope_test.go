@@ -1,0 +1,15 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/analysistest"
+	"fastforward/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	a := lockscope.New(lockscope.Config{
+		LockOrder: []string{"lockfixture.Pool", "lockfixture.Server", "lockfixture.Gate"},
+	})
+	analysistest.Run(t, "testdata", a, "lockfixture")
+}

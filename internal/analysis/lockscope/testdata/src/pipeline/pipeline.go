@@ -1,0 +1,9 @@
+// Package pipeline is a fixture stub of internal/pipeline: just the
+// Batch surface lockscope treats as blocking.
+package pipeline
+
+type Batch struct{ n int }
+
+func (b *Batch) Process()              {}
+func (b *Batch) ProcessSome(n int) int { return n }
+func (b *Batch) Add(id uint64) bool    { return true }

@@ -1,0 +1,13 @@
+package netdeadline_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/analysistest"
+	"fastforward/internal/analysis/netdeadline"
+)
+
+func TestNetdeadline(t *testing.T) {
+	a := netdeadline.New(netdeadline.Config{Packages: []string{"deadfixture"}})
+	analysistest.Run(t, "testdata", a, "deadfixture")
+}

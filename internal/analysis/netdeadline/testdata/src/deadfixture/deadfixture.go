@@ -1,0 +1,122 @@
+// Package deadfixture exercises netdeadline: direct and helper-mediated
+// conn I/O with and without an armed deadline, discarded setter errors,
+// and receiver-field arming (the Client.armDeadline shape).
+package deadfixture
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// writeRaw performs I/O without arming a deadline: the caller must arm.
+// It declares io.Writer, not net.Conn — the convention for
+// caller-arms-the-deadline helpers (the writeFrame/readFrame shape;
+// framing is transport-agnostic by design). A helper doing unarmed I/O
+// on a net.Conn parameter is itself a finding.
+func writeRaw(w io.Writer, b []byte) error {
+	_, err := w.Write(b)
+	return err
+}
+
+// armWrite arms a deadline on its conn parameter and checks the error:
+// calling it counts as arming at the call site.
+func armWrite(c net.Conn) error {
+	return c.SetWriteDeadline(time.Now().Add(time.Second))
+}
+
+func sendUnarmed(c net.Conn, b []byte) {
+	c.Write(b) // want `c\.Write without a deadline armed on c`
+}
+
+func sendViaHelperUnarmed(c net.Conn, b []byte) {
+	writeRaw(c, b) // want `conn c passed to I/O without a deadline armed`
+}
+
+func sendArmed(c net.Conn, b []byte) error {
+	if err := armWrite(c); err != nil {
+		return err
+	}
+	return writeRaw(c, b)
+}
+
+func readArmedDirect(c net.Conn, b []byte) error {
+	if err := c.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := c.Read(b)
+	return err
+}
+
+func externalIOUnarmed(c net.Conn) {
+	io.ReadFull(c, make([]byte, 4)) // want `conn c passed to I/O without a deadline armed`
+}
+
+func externalIOArmed(c net.Conn) error {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := io.ReadFull(c, make([]byte, 4))
+	return err
+}
+
+// setWriteDeadlineOld is the pinned real finding: internal/relayd's
+// setWriteDeadline discarded the setter's error (relayd.go:345 before
+// the fix), leaving the next write unbounded on a conn that was already
+// dead.
+func setWriteDeadlineOld(c net.Conn, timeout time.Duration) {
+	if timeout > 0 {
+		c.SetWriteDeadline(time.Now().Add(timeout)) // want `c\.SetWriteDeadline result discarded`
+	}
+}
+
+func blankedSetter(c net.Conn) {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second)) // want `c\.SetReadDeadline result discarded`
+}
+
+// refuseLike arms through one helper, then does I/O through another:
+// transitively clean, and callers passing a conn to it count as armed.
+func refuseLike(c net.Conn) {
+	if armWrite(c) == nil {
+		writeRaw(c, nil)
+	}
+}
+
+func callerOfRefuseLike(c net.Conn, b []byte) error {
+	refuseLike(c)
+	return writeRaw(c, b)
+}
+
+// closeOnly: Close and address reads are neutral, no deadline needed.
+func closeOnly(c net.Conn) {
+	defer c.Close()
+	c.RemoteAddr()
+}
+
+type client struct {
+	conn net.Conn
+}
+
+// arm arms a deadline on the receiver's conn field: calling it arms
+// c.conn for the caller (the relayd Client.armDeadline shape).
+func (c *client) arm() error {
+	return c.conn.SetDeadline(time.Now().Add(time.Second))
+}
+
+func (c *client) roundTripOK(b []byte) error {
+	if err := c.arm(); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(b)
+	return err
+}
+
+func (c *client) roundTripBad(b []byte) error {
+	_, err := c.conn.Write(b) // want `c\.conn\.Write without a deadline armed`
+	return err
+}
+
+// allowedUnarmed carries a written justification.
+func allowedUnarmed(c net.Conn, b []byte) {
+	c.Write(b) //fflint:allow netdeadline fixture exercises the suppression path
+}

@@ -1,0 +1,26 @@
+// Package net is a fixture stub of the standard library's net package:
+// just enough surface for the lockscope fixtures. The analyzers match
+// the receiver package by its final path element, so this stub stands in
+// for the real thing.
+package net
+
+import "time"
+
+type Addr interface{ String() string }
+
+type Conn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	Close() error
+	LocalAddr() Addr
+	RemoteAddr() Addr
+	SetDeadline(t time.Time) error
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() Addr
+}

@@ -1,0 +1,16 @@
+// Package wirereg is a clean protocol registry fixture: every refuse
+// code and frame type is documented in the sibling OPERATIONS.md, so
+// wirecodes reports nothing here.
+package wirereg
+
+// Refusal codes carried by REFUSE frames.
+const (
+	RefuseBusy    = "busy"
+	RefuseTimeout = "timeout"
+)
+
+// Frame types on the wire.
+const (
+	FrameHello byte = 1
+	FrameData  byte = 4
+)

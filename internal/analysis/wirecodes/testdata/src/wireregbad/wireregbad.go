@@ -1,0 +1,18 @@
+// Package wireregbad is a drifted registry fixture: the sibling
+// OPERATIONS.md misses a declared code, documents an undeclared code,
+// disagrees on a frame value, and documents a phantom frame. The missing
+// troubleshooting row pins the real finding: the relayd registry declared
+// RefuseProtocol but the runbook had no "code `protocol`" row.
+package wireregbad // want `refuse code "quota" \(RefuseQuota\) missing` `documents refuse code "stale" that the protocol registry does not declare` `documents frame HELLO\(9\) but the protocol registry declares HELLO\(1\)` `documents frame EXTRA\(8\) that the protocol registry does not declare`
+
+// Refusal codes carried by REFUSE frames.
+const (
+	RefuseBusy  = "busy"
+	RefuseQuota = "quota"
+)
+
+// Frame types on the wire.
+const (
+	FrameHello byte = 1
+	FrameDone  byte = 6
+)

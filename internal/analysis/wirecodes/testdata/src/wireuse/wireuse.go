@@ -1,0 +1,33 @@
+// Package wireuse imports the registry and must spell refuse codes and
+// frame types with its constants, never raw literals.
+package wireuse
+
+import "wirereg"
+
+// refuse matches against a raw code string — the finding shape that bit
+// the fleet sweep before the registry constants existed.
+func refuse(code string) bool {
+	return code == "busy" // want `refuse code literal "busy": use the RefuseBusy constant`
+}
+
+func refuseOK(code string) bool {
+	return code == wirereg.RefuseTimeout
+}
+
+func frame(t byte) bool {
+	return t == 4 // want `frame-type literal 4: use the FrameData constant`
+}
+
+func frameOK(t byte) bool {
+	return t == wirereg.FrameHello
+}
+
+// unrelated: values outside the registry stay legal, as do registry
+// strings in non-byte/non-registry contexts.
+func unrelated(t byte, s string) bool {
+	return t == 9 || s == "draining"
+}
+
+func allowed(code string) bool {
+	return code == "timeout" //fflint:allow wirecodes fixture exercises the suppression path
+}

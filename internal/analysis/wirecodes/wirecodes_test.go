@@ -1,0 +1,15 @@
+package wirecodes_test
+
+import (
+	"testing"
+
+	"fastforward/internal/analysis/analysistest"
+	"fastforward/internal/analysis/wirecodes"
+)
+
+func TestWirecodes(t *testing.T) {
+	a := wirecodes.New(wirecodes.Config{
+		RegistryPackages: []string{"wirereg", "wireregbad"},
+	})
+	analysistest.Run(t, "testdata", a, "wirereg", "wireuse", "wireregbad")
+}

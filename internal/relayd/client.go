@@ -12,17 +12,46 @@ import (
 // for concurrent use; it mirrors the daemon's one-block-in-flight
 // discipline.
 type Client struct {
-	conn   net.Conn
-	params SessionParams
-	accept Accept
-	buf    []byte
-	data   []byte
-	blocks uint64
+	conn    net.Conn
+	params  SessionParams
+	accept  Accept
+	buf     []byte
+	data    []byte
+	blocks  uint64
+	timeout time.Duration
 }
 
-// NewClientConn runs the handshake over an established connection. On
-// refusal it returns a *RefusedError and closes the connection.
+// armConnDeadline arms (timeout > 0) or clears (timeout == 0) the conn's
+// combined read/write deadline ahead of a frame exchange.
+func armConnDeadline(conn net.Conn, timeout time.Duration) error {
+	var t time.Time
+	if timeout > 0 {
+		t = time.Now().Add(timeout)
+	}
+	return conn.SetDeadline(t)
+}
+
+// armDeadline arms the client's configured deadline before each round
+// trip, so a stuck daemon surfaces as a timeout instead of a hang.
+func (c *Client) armDeadline() error {
+	return armConnDeadline(c.conn, c.timeout)
+}
+
+// NewClientConn runs the handshake over an established connection with no
+// I/O timeout. On refusal it returns a *RefusedError and closes the
+// connection.
 func NewClientConn(conn net.Conn, params SessionParams) (*Client, error) {
+	return NewClientConnTimeout(conn, params, 0)
+}
+
+// NewClientConnTimeout is NewClientConn with a per-exchange I/O timeout
+// (zero means block indefinitely); the handshake itself and every later
+// Process/Close round trip are bounded by it.
+func NewClientConnTimeout(conn net.Conn, params SessionParams, timeout time.Duration) (*Client, error) {
+	if err := armConnDeadline(conn, timeout); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	if err := writeJSONFrame(conn, FrameHello, params); err != nil {
 		conn.Close()
 		return nil, err
@@ -35,7 +64,8 @@ func NewClientConn(conn net.Conn, params SessionParams) (*Client, error) {
 	switch typ {
 	case FrameAccept:
 		c := &Client{conn: conn, params: params, buf: buf,
-			data: make([]byte, 2*params.BlockSamples*SampleBytes)}
+			data:    make([]byte, 2*params.BlockSamples*SampleBytes),
+			timeout: timeout}
 		if err := json.Unmarshal(payload, &c.accept); err != nil {
 			conn.Close()
 			return nil, err
@@ -55,10 +85,17 @@ func NewClientConn(conn net.Conn, params SessionParams) (*Client, error) {
 	}
 }
 
-// Dial connects to a daemon with reconnect backoff: transient dial errors
-// retry up to attempts times, but a refusal from the daemon is terminal —
-// the admission verdict will not change by retrying.
+// Dial connects to a daemon with reconnect backoff and no I/O timeout:
+// transient dial errors retry up to attempts times, but a refusal from
+// the daemon is terminal — the admission verdict will not change by
+// retrying.
 func Dial(addr string, params SessionParams, bo *Backoff, attempts int) (*Client, error) {
+	return DialTimeout(addr, params, bo, attempts, 0)
+}
+
+// DialTimeout is Dial with a per-exchange I/O timeout applied to the
+// handshake and every later round trip (zero means block indefinitely).
+func DialTimeout(addr string, params SessionParams, bo *Backoff, attempts int, timeout time.Duration) (*Client, error) {
 	if bo == nil {
 		bo = &Backoff{}
 	}
@@ -75,7 +112,7 @@ func Dial(addr string, params SessionParams, bo *Backoff, attempts int) (*Client
 			lastErr = err
 			continue
 		}
-		c, err := NewClientConn(conn, params)
+		c, err := NewClientConnTimeout(conn, params, timeout)
 		if err != nil {
 			var ref *RefusedError
 			if asRefused(err, &ref) {
@@ -101,6 +138,10 @@ func asRefused(err error, ref **RefusedError) bool {
 // Accept returns the daemon's admission grant for this session.
 func (c *Client) Accept() Accept { return c.accept }
 
+// SetTimeout changes the per-exchange I/O timeout for subsequent round
+// trips (zero disables it).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
 // Process sends one block round trip: rx and the transmit reference go
 // out in a DATA frame, and the daemon's processed block is written back
 // into out (which may alias rx). All three slices must hold exactly
@@ -112,6 +153,10 @@ func (c *Client) Process(out, rx, ref []complex128) error {
 	}
 	samplesToBytes(c.data[:n*SampleBytes], rx)
 	samplesToBytes(c.data[n*SampleBytes:], ref)
+	if err := c.armDeadline(); err != nil {
+		c.conn.Close()
+		return err
+	}
 	if err := writeFrame(c.conn, FrameData, c.data); err != nil {
 		return err
 	}
@@ -144,6 +189,9 @@ func (c *Client) Process(out, rx, ref []complex128) error {
 func (c *Client) Close() (Stats, error) {
 	defer c.conn.Close()
 	var st Stats
+	if err := c.armDeadline(); err != nil {
+		return st, err
+	}
 	if err := writeFrame(c.conn, FrameDone, nil); err != nil {
 		return st, err
 	}

@@ -90,6 +90,8 @@ type metrics struct {
 	refusedDraining *obs.Counter
 	refusedBadHello *obs.Counter
 	ioErrors        *obs.Counter
+	deadlineErrors  *obs.Counter
+	statusErrors    *obs.Counter
 	framesIn        *obs.Counter
 	framesOut       *obs.Counter
 	throttleWaits   *obs.Counter
@@ -112,6 +114,8 @@ func newMetrics(reg *obs.Registry) metrics {
 		refusedDraining: reg.Counter("relayd.sessions_refused.draining", "sessions"),
 		refusedBadHello: reg.Counter("relayd.sessions_refused.bad_hello", "sessions"),
 		ioErrors:        reg.Counter("relayd.io_errors", "errors"),
+		deadlineErrors:  reg.Counter("relayd.deadline_errors", "errors"),
+		statusErrors:    reg.Counter("relayd.status_errors", "errors"),
 		framesIn:        reg.Counter("relayd.frames_in", "frames"),
 		framesOut:       reg.Counter("relayd.frames_out", "frames"),
 		throttleWaits:   reg.Counter("relayd.throttle_waits", "waits"),
@@ -317,9 +321,15 @@ func (s *Server) Close() {
 }
 
 func (s *Server) closeConns() {
+	// Snapshot under the lock, close outside it: conn.Close can block on
+	// a wedged peer, and nothing that shares s.mu should wait on that.
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
 		c.Close()
 	}
 }
@@ -334,16 +344,42 @@ func (s *Server) trackConn(conn net.Conn, add bool) {
 	}
 }
 
-// refuse emits a REFUSE frame; write errors are irrelevant at this point.
+// refuse emits a REFUSE frame. The session is over either way, but a
+// failed write is still counted so a flapping peer shows up in metrics.
 func (s *Server) refuse(conn net.Conn, code, detail string) {
-	s.setWriteDeadline(conn)
-	_ = writeJSONFrame(conn, FrameRefuse, Refuse{Code: code, Detail: detail})
+	if !s.setWriteDeadline(conn) {
+		return
+	}
+	if err := writeJSONFrame(conn, FrameRefuse, Refuse{Code: code, Detail: detail}); err != nil {
+		s.m.ioErrors.Inc(0)
+	}
 }
 
-func (s *Server) setWriteDeadline(conn net.Conn) {
-	if s.cfg.WriteTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+// setWriteDeadline arms the write deadline and reports whether the conn
+// is still usable. A setter error means the conn is already dead: count
+// it, close the conn, and have the caller bail instead of writing into
+// an unbounded block.
+func (s *Server) setWriteDeadline(conn net.Conn) bool {
+	if s.cfg.WriteTimeout <= 0 {
+		return true
 	}
+	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		s.m.deadlineErrors.Inc(0)
+		conn.Close()
+		return false
+	}
+	return true
+}
+
+// armReadDeadline is the read-side twin of setWriteDeadline: a zero time
+// clears the deadline, and a setter error closes the conn and counts.
+func (s *Server) armReadDeadline(conn net.Conn, t time.Time) bool {
+	if err := conn.SetReadDeadline(t); err != nil {
+		s.m.deadlineErrors.Inc(0)
+		conn.Close()
+		return false
+	}
+	return true
 }
 
 // admit runs the admission path under the server lock: drain state, then
@@ -408,15 +444,21 @@ func (s *Server) release(sess *Session, completed bool) {
 	}
 }
 
+// errDeadline reports a failed deadline arm; the conn is already closed
+// and counted by the time a caller sees it.
+var errDeadline = errors.New("relayd: failed to arm conn deadline")
+
 // readSessionFrame reads one frame with the two-phase deadline: the idle
 // timeout governs waiting for the 5-byte header (expiry means the peer
 // went quiet — idle=true), the read timeout governs the payload once the
 // header landed (expiry is an I/O error).
 func (s *Server) readSessionFrame(conn net.Conn, buf []byte) (typ byte, payload, newBuf []byte, idle bool, err error) {
+	idleBy := time.Time{}
 	if s.cfg.IdleTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-	} else {
-		conn.SetReadDeadline(time.Time{})
+		idleBy = time.Now().Add(s.cfg.IdleTimeout)
+	}
+	if !s.armReadDeadline(conn, idleBy) {
+		return 0, nil, buf, false, errDeadline
 	}
 	var hdr [frameHeaderLen]byte
 	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
@@ -427,7 +469,9 @@ func (s *Server) readSessionFrame(conn net.Conn, buf []byte) (typ byte, payload,
 		return 0, nil, buf, false, errors.New("relayd: frame payload exceeds limit")
 	}
 	if s.cfg.ReadTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if !s.armReadDeadline(conn, time.Now().Add(s.cfg.ReadTimeout)) {
+			return 0, nil, buf, false, errDeadline
+		}
 	}
 	if cap(buf) < n {
 		buf = make([]byte, n)
@@ -454,7 +498,9 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	// HELLO must arrive within the read timeout.
 	if s.cfg.ReadTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if !s.armReadDeadline(conn, time.Now().Add(s.cfg.ReadTimeout)) {
+			return
+		}
 	}
 	typ, payload, buf, err := readFrame(conn, nil)
 	if err != nil || typ != FrameHello {
@@ -487,7 +533,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
-	s.setWriteDeadline(conn)
+	if !s.setWriteDeadline(conn) {
+		s.release(sess, false)
+		return
+	}
 	if err := writeJSONFrame(conn, FrameAccept, Accept{
 		SessionID:    sess.ID,
 		AmpDB:        sess.Grant.AmpDB,
@@ -544,7 +593,9 @@ func (s *Server) streamSession(conn net.Conn, sess *Session, buf []byte) bool {
 			s.execCh <- req
 			<-req.done
 			samplesToBytes(out, rx)
-			s.setWriteDeadline(conn)
+			if !s.setWriteDeadline(conn) {
+				return false
+			}
 			if err := writeFrame(conn, FrameOut, out); err != nil {
 				s.m.ioErrors.Inc(sess.shard)
 				return false
@@ -554,7 +605,9 @@ func (s *Server) streamSession(conn net.Conn, sess *Session, buf []byte) bool {
 			sess.samples.Add(uint64(n))
 			sess.lastActiveNs.Store(obs.NowNanos())
 		case FrameDone:
-			s.setWriteDeadline(conn)
+			if !s.setWriteDeadline(conn) {
+				return false
+			}
 			if err := writeJSONFrame(conn, FrameStats, Stats{
 				SessionID: sess.ID,
 				Blocks:    sess.Blocks(),

@@ -2,6 +2,7 @@ package relayd
 
 import (
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"sort"
@@ -50,7 +51,7 @@ func (s *Server) Status() Status {
 		UptimeS: float64(now-s.startNs) / 1e9,
 	}
 	if s.draining.Load() {
-		st.State = "draining"
+		st.State = "draining" //fflint:allow wirecodes daemon state name, not a REFUSE code; they share a word by design (OPERATIONS.md documents both)
 	}
 	s.mu.Lock()
 	st.Sessions = make([]SessionStatus, 0, len(s.sessions))
@@ -94,16 +95,22 @@ func (s *Server) StatusHandler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("draining\n"))
+			if _, err := w.Write([]byte("draining\n")); err != nil {
+				s.m.statusErrors.Inc(0)
+			}
 			return
 		}
-		w.Write([]byte("ok\n"))
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			s.m.statusErrors.Inc(0)
+		}
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(s.Status())
+		if err := enc.Encode(s.Status()); err != nil {
+			s.m.statusErrors.Inc(0)
+		}
 	})
 	return mux
 }
@@ -115,7 +122,10 @@ func (s *Server) ServeStatus(ln net.Listener) error {
 	s.listeners = append(s.listeners, ln)
 	s.mu.Unlock()
 	err := srv.Serve(ln)
-	if err == http.ErrServerClosed {
+	if errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed) {
+		// Close shuts the listener out from under the http.Server (the
+		// daemon drains its own conns; there is nothing to Shutdown), so
+		// a closed-listener accept error is the clean-exit path here.
 		return nil
 	}
 	return err
