@@ -9,12 +9,13 @@
 # internal/ident, and the testbed's parallel paths) with a drift guard
 # (racecheck) that fails if a concurrent package is missing from that
 # list, a manifest smoke run of every cmd binary (see OBSERVABILITY.md),
-# and the fleet sweep smoke (DESIGN.md §11).
+# and the fleet sweep smokes — local gates and the served wire mode
+# against real ffrelayd subprocesses (DESIGN.md §11, OPERATIONS.md).
 
 GO ?= go
 SMOKE := .smoke
 
-.PHONY: all build test vet lint race racecheck check bench bench-allocs bench-sessions manifest-smoke daemon-smoke fleet-smoke fuzz-smoke
+.PHONY: all build test vet lint race racecheck check bench bench-allocs bench-sessions manifest-smoke daemon-smoke fleet-smoke fleet-served-smoke fuzz-smoke
 
 all: check
 
@@ -66,7 +67,7 @@ race:
 racecheck:
 	$(GO) run ./cmd/racecheck
 
-check: test vet lint race racecheck manifest-smoke daemon-smoke fleet-smoke
+check: test vet lint race racecheck manifest-smoke daemon-smoke fleet-smoke fleet-served-smoke
 
 # Run every cmd binary with -manifest on a tiny configuration and
 # validate the JSON it writes; ffsim additionally must report nonzero
@@ -108,6 +109,23 @@ fleet-smoke: build
 	$(GO) run ./cmd/ffsim -fig fleet -fleet-relays 1,3 -fleet-clients 20,40 -workers 4 -sic-trials 0 -seed 2 -manifest $(SMOKE)/fleet-w4.json > /dev/null
 	$(GO) run ./cmd/manifestcheck -require fleet.cells,fleet.relays,fleet.clients,fleet.assigned,fleet.refused,fleet.spilled,fleet.migrations,fleet.stranded,fleet.amp_db,fleet.relay_sessions,fleet.aggregate_mbps,fleet.p99_client_mbps $(SMOKE)/fleet.json
 	$(GO) run ./cmd/manifestcheck -diff $(SMOKE)/fleet.json $(SMOKE)/fleet-w4.json
+	rm -rf $(SMOKE)
+
+# Served fleet smoke (see OPERATIONS.md "Served fleet mode"): the same
+# seeded grid as fleet-smoke, once against in-process gates and once
+# against real ffrelayd subprocesses over loopback TCP, with a session
+# cap that provokes genuine session_limit REFUSEs (so the wire's
+# REFUSE → spill mapping is on the critical path). The wire run must
+# publish every fleet.wire.* transport counter (io_errors excluded — it
+# must stay zero and -require demands nonzero), and the two manifests
+# must be bit-identical outside the fleet.wire. prefix.
+fleet-served-smoke: build
+	rm -rf $(SMOKE) && mkdir -p $(SMOKE)
+	$(GO) build -o $(SMOKE)/ffrelayd ./cmd/ffrelayd
+	$(GO) run ./cmd/ffsim -fig fleet -fleet-relays 1,3 -fleet-clients 20,40 -fleet-cap 8 -workers 4 -sic-trials 0 -seed 2 -manifest $(SMOKE)/fleet-local.json > /dev/null
+	$(GO) run ./cmd/ffsim -fig fleet -fleet-relays 1,3 -fleet-clients 20,40 -fleet-cap 8 -workers 4 -sic-trials 0 -seed 2 -serve-mode wire -fleet-exec $(SMOKE)/ffrelayd -manifest $(SMOKE)/fleet-wire.json > /dev/null
+	$(GO) run ./cmd/manifestcheck -require fleet.spilled,fleet.wire.hellos,fleet.wire.accepted,fleet.wire.refused,fleet.wire.releases,fleet.wire.load_queries,fleet.wire.blocks,fleet.wire.verified_sessions $(SMOKE)/fleet-wire.json
+	$(GO) run ./cmd/manifestcheck -diff -ignore fleet.wire. $(SMOKE)/fleet-local.json $(SMOKE)/fleet-wire.json
 	rm -rf $(SMOKE)
 
 # Short fuzz runs over every fuzz target (go accepts one -fuzz target per

@@ -15,8 +15,14 @@
 // -fig fleet runs the relay-pool sweep (internal/fleet): aggregate
 // throughput and p99 client rate versus relay count × client density,
 // with a forced severity event and rebalance per cell. It is shaped by
-// -fleet-scenario, -fleet-relays, -fleet-clients, and -fleet-fail, and
-// publishes the fleet.* metrics.
+// -fleet-scenario, -fleet-relays, -fleet-clients, -fleet-cap, and
+// -fleet-fail, and publishes the fleet.* metrics. -serve-mode wire
+// serves every cell's admissions from live ffrelayd daemons on loopback
+// TCP (fleet.ProcessPool) — books and fleet.* metrics are identical to
+// -serve-mode local, one admitted session per cell is bit-verified
+// against its local replica chain, and the fleet.wire.* transport
+// metrics are recorded. -fleet-exec points at a built cmd/ffrelayd
+// binary to spawn real subprocess daemons instead of in-process servers.
 //
 // -fig sessions is a machine benchmark rather than a paper figure: it
 // binary-searches the largest number of concurrent 20 MHz full-duplex
@@ -58,6 +64,9 @@ func main() {
 	fleetRelays := flag.String("fleet-relays", "1,2,4,8", "fleet sweep relay counts (comma-separated)")
 	fleetClients := flag.String("fleet-clients", "50,100,200", "fleet sweep client densities (comma-separated)")
 	fleetFail := flag.String("fleet-fail", "severe", "severity the forced fleet event drives the busiest relay to (ideal, mild, moderate, severe, harsh)")
+	fleetCap := flag.Int("fleet-cap", 0, "fleet sweep per-relay session cap (0 = uncapped); a cap under the client density provokes session_limit spills")
+	serveMode := flag.String("serve-mode", "local", "fleet admission endpoint: local (in-process gates) or wire (live ffrelayd daemons on loopback TCP)")
+	fleetExec := flag.String("fleet-exec", "", "with -serve-mode wire: path to a built cmd/ffrelayd binary to spawn per relay (empty: in-process servers)")
 	flag.Parse()
 
 	run := runmeta.Begin("ffsim")
@@ -103,8 +112,20 @@ func main() {
 	runFig("17", fig17)
 	runFig("18", fig18)
 	runFig("deg", figDeg)
+	if *serveMode != "local" && *serveMode != "wire" {
+		fmt.Fprintf(os.Stderr, "unknown -serve-mode %q (want local or wire)\n", *serveMode)
+		os.Exit(2)
+	}
 	runFig("fleet", func(cfg testbed.Config) {
-		figFleet(*fleetScenario, *fleetRelays, *fleetClients, *fleetFail, *seed, *workers, run.Registry())
+		figFleet(fleetOpts{
+			scenario:   *fleetScenario,
+			relayList:  *fleetRelays,
+			clientList: *fleetClients,
+			fail:       *fleetFail,
+			cap:        *fleetCap,
+			wire:       *serveMode == "wire",
+			exec:       *fleetExec,
+		}, *seed, *workers, run.Registry())
 	})
 	// The sessions sweep is a wall-clock machine benchmark, not a paper
 	// figure: it only runs when asked for, never under "all".
@@ -203,35 +224,49 @@ func figDeg(cfg testbed.Config) {
 	fmt.Println("   instability — the relay fails soft toward the no-relay baseline)")
 }
 
-func figFleet(scenario, relayList, clientList, fail string, seed int64, workers int, reg *obs.Registry) {
-	relays, err := parseIntList(relayList)
+// fleetOpts bundles the fleet sweep's command-line shape.
+type fleetOpts struct {
+	scenario   string
+	relayList  string
+	clientList string
+	fail       string
+	cap        int
+	wire       bool
+	exec       string
+}
+
+func figFleet(opts fleetOpts, seed int64, workers int, reg *obs.Registry) {
+	relays, err := parseIntList(opts.relayList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "-fleet-relays: %v\n", err)
 		os.Exit(2)
 	}
-	clients, err := parseIntList(clientList)
+	clients, err := parseIntList(opts.clientList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "-fleet-clients: %v\n", err)
 		os.Exit(2)
 	}
-	sev, ok := impair.SeverityRank(fail)
+	sev, ok := impair.SeverityRank(opts.fail)
 	if !ok {
 		ladder := make([]string, 5)
 		for i := range ladder {
 			ladder[i] = impair.SeverityName(i)
 		}
 		fmt.Fprintf(os.Stderr, "-fleet-fail: %q is not on the severity ladder (%s)\n",
-			fail, strings.Join(ladder, ", "))
+			opts.fail, strings.Join(ladder, ", "))
 		os.Exit(2)
 	}
 
 	cfg := fleet.DefaultSweepConfig(seed)
-	cfg.ScenarioName = scenario
+	cfg.ScenarioName = opts.scenario
 	cfg.RelayCounts = relays
 	cfg.ClientCounts = clients
 	cfg.FailSeverity = sev
 	cfg.Workers = workers
 	cfg.Obs = reg
+	cfg.Pool.MaxSessionsPerRelay = opts.cap
+	cfg.ServeWire = opts.wire
+	cfg.WireExec = opts.exec
 	res, err := fleet.RunSweep(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleet sweep: %v\n", err)
@@ -241,6 +276,13 @@ func figFleet(scenario, relayList, clientList, fail string, seed int64, workers 
 	fmt.Println("== Fleet: aggregate throughput and p99 client rate vs relay count x client density ==")
 	fmt.Printf("  scenario %s, forced event: busiest relay driven to %q, one rebalance\n",
 		res.Scenario, impair.SeverityName(sev))
+	if opts.wire {
+		served := "in-process relayd servers"
+		if opts.exec != "" {
+			served = "ffrelayd subprocesses (" + opts.exec + ")"
+		}
+		fmt.Printf("  serve-mode wire: admissions over loopback TCP to %s, one session per cell bit-verified\n", served)
+	}
 	fmt.Println("  relays clients assigned refused spilled | agg(Mbps)  p99(Mbps) | mig strand  agg'(Mbps) p99'(Mbps)")
 	for _, c := range res.Cells {
 		fmt.Printf("  %6d %7d %8d %7d %7d | %9.1f %10.3f | %3d %6d  %10.1f %10.3f\n",

@@ -10,11 +10,17 @@
 //	                                           to be present and nonzero
 //	manifestcheck -diff a.json b.json          compare the deterministic
 //	                                           metrics sections bit-exactly
+//	manifestcheck -diff -ignore fleet.wire. a.json b.json
+//	                                           ...excluding metrics whose
+//	                                           names match a prefix
 //
 // Exit status 0 on success, 1 on any validation or comparison failure,
 // 2 on usage errors. The -diff mode deliberately ignores timings,
 // wall-clock and argv: those are allowed to differ between runs; the
-// metrics section is not (for equal seeds and configs).
+// metrics section is not (for equal seeds and configs). The -ignore
+// flag (comma-separated name prefixes) carves out metric families that
+// one side records and the other legitimately cannot — e.g. the
+// fleet.wire.* transport counters only exist in served mode.
 package main
 
 import (
@@ -33,20 +39,34 @@ import (
 func main() {
 	require := flag.String("require", "", "comma-separated metric names that must be present with nonzero observations")
 	diff := flag.Bool("diff", false, "compare the metrics sections of two manifests bit-exactly")
+	ignore := flag.String("ignore", "", "comma-separated metric-name prefixes to exclude from -diff")
 	flag.Parse()
 
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: manifestcheck -diff a.json b.json")
+			fmt.Fprintln(os.Stderr, "usage: manifestcheck -diff [-ignore prefix1,prefix2] a.json b.json")
 			os.Exit(2)
 		}
 		a := load(flag.Arg(0))
 		b := load(flag.Arg(1))
-		if !diffMetrics(flag.Arg(0), a.Metrics, flag.Arg(1), b.Metrics) {
+		prefixes := splitList(*ignore)
+		am := dropPrefixed(a.Metrics, prefixes)
+		bm := dropPrefixed(b.Metrics, prefixes)
+		if !diffMetrics(flag.Arg(0), am, flag.Arg(1), bm) {
 			os.Exit(1)
 		}
-		fmt.Printf("metrics identical: %s == %s (%d metrics)\n", flag.Arg(0), flag.Arg(1), len(a.Metrics))
+		ignored := (len(a.Metrics) - len(am)) + (len(b.Metrics) - len(bm))
+		if ignored > 0 {
+			fmt.Printf("metrics identical: %s == %s (%d metrics, %d ignored by prefix)\n",
+				flag.Arg(0), flag.Arg(1), len(am), ignored)
+		} else {
+			fmt.Printf("metrics identical: %s == %s (%d metrics)\n", flag.Arg(0), flag.Arg(1), len(am))
+		}
 		return
+	}
+	if *ignore != "" {
+		fmt.Fprintln(os.Stderr, "manifestcheck: -ignore only applies to -diff")
+		os.Exit(2)
 	}
 
 	if flag.NArg() != 1 {
@@ -206,6 +226,28 @@ func diffMetrics(an string, a map[string]obs.MetricSnapshot, bn string, b map[st
 		}
 	}
 	return same
+}
+
+// dropPrefixed returns metrics whose names match none of the prefixes
+// (the original map when there is nothing to drop).
+func dropPrefixed(m map[string]obs.MetricSnapshot, prefixes []string) map[string]obs.MetricSnapshot {
+	if len(prefixes) == 0 {
+		return m
+	}
+	out := make(map[string]obs.MetricSnapshot, len(m))
+	for name, ms := range m {
+		drop := false
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out[name] = ms
+		}
+	}
+	return out
 }
 
 func splitList(s string) []string {

@@ -238,12 +238,12 @@ func (p *Pool) budgetFor(r *Relay, l Link) relay.SessionBudget {
 // monopolize a relay — the client spills to its next preference.
 func (p *Pool) admitAt(r *Relay, c *Client, l Link) (relay.AmpDecision, bool, bool) {
 	key := sessionKey(c.ID)
-	dec, degraded, ref := r.Gate.Admit(key, p.budgetFor(r, l))
+	dec, degraded, ref := r.ep.Admit(key, p.budgetFor(r, l))
 	if ref != nil {
 		return relay.AmpDecision{}, false, false
 	}
 	if dec.Bound == relay.AmpBoundNoiseRule {
-		r.Gate.Release(key)
+		r.ep.Release(key)
 		return relay.AmpDecision{}, false, false
 	}
 	return dec, degraded, true
@@ -307,7 +307,7 @@ func (p *Pool) release(c *Client) {
 		return
 	}
 	if r, ok := p.reg.Get(c.Assigned); ok {
-		r.Gate.Release(sessionKey(c.ID))
+		r.ep.Release(sessionKey(c.ID))
 		r.cls.Forget(c.ID)
 	}
 	c.Assigned = Refused
@@ -322,7 +322,7 @@ func (p *Pool) release(c *Client) {
 func (p *Pool) AdmittedLoad() float64 {
 	var load float64
 	for _, r := range p.reg.Relays() {
-		load += r.Gate.ResidualLoad()
+		load += r.ep.ResidualLoad()
 	}
 	return load
 }

@@ -1,0 +1,47 @@
+package fleet
+
+import "fastforward/internal/relay"
+
+// ClientBook is one client's assignment outcome, flattened for
+// comparison: everything the scheduler decided about it, nothing about
+// how the decision was transported. Two Pools that booked identically —
+// whether their endpoints were local gates or live daemons — produce
+// deeply equal books.
+type ClientBook struct {
+	ID       int
+	Assigned int // serving relay ID, or Refused
+	Grant    relay.AmpDecision
+	Degraded bool
+	Stranded bool
+}
+
+// Books is the pool's full assignment ledger: per-client outcomes in
+// ascending-ID order plus the scheduler's aggregate accounting.
+type Books struct {
+	Clients    []ClientBook
+	Grants     uint64
+	Spilled    int
+	Migrations int
+	Refusals   int
+}
+
+// Books snapshots the pool's current ledger.
+func (p *Pool) Books() Books {
+	b := Books{
+		Clients:    make([]ClientBook, 0, len(p.clients)),
+		Grants:     p.grants,
+		Spilled:    p.Spilled,
+		Migrations: p.Migrations,
+		Refusals:   p.Refusals,
+	}
+	for _, c := range p.clients {
+		b.Clients = append(b.Clients, ClientBook{
+			ID:       c.ID,
+			Assigned: c.Assigned,
+			Grant:    c.Grant,
+			Degraded: c.Degraded,
+			Stranded: c.Stranded,
+		})
+	}
+	return b
+}

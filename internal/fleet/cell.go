@@ -297,7 +297,7 @@ func (cell *Cell) Evaluate() Snapshot {
 	}
 	snap.SessionsPerRelay = make([]int, len(relays))
 	for i, r := range relays {
-		snap.SessionsPerRelay[i] = r.Gate.Active()
+		snap.SessionsPerRelay[i] = r.ep.Sessions()
 	}
 	return snap
 }

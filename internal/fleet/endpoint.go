@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"fastforward/internal/relay"
+	"fastforward/internal/relayd"
+)
+
+// Endpoint is the admission seam between the scheduler and one relay:
+// everything the Pool needs from a relay front-end, abstracted away from
+// where that front-end runs. LocalEndpoint wraps the in-process
+// relayd.Gate (the sweep default — bit-identical to the pre-seam code);
+// WireEndpoint (wire.go) drives a live ffrelayd over TCP with the same
+// refusal vocabulary, so a spill decision is made identically whether the
+// REFUSE arrived as a struct or as a frame.
+//
+// Implementations are not required to be concurrency-safe; the Pool
+// serializes all calls (one sweep cell owns one Pool).
+type Endpoint interface {
+	// Admit asks the relay to admit a session under the Sec 3.5 budget.
+	// On success the grant is sticky until Release(key). On refusal ref
+	// carries a stable wire code (relayd.Refuse*); transport failures
+	// surface as RefuseUnreachable, never as a Go error — the scheduler's
+	// only move either way is to spill.
+	Admit(key string, sb relay.SessionBudget) (dec relay.AmpDecision, degraded bool, ref *relayd.Refuse)
+	// Release frees an admitted session's slot, reporting whether the key
+	// held one. Synchronous: on return the budget slot is observably free.
+	Release(key string) bool
+	// ResidualLoad is the aggregate admitted load L = Σ β_i·A_i.
+	ResidualLoad() float64
+	// Sessions is the number of sessions currently holding grants.
+	Sessions() int
+	// MaxSessions is the configured session cap (0 = uncapped).
+	MaxSessions() int
+}
+
+// LocalEndpoint runs admission in-process against a relayd.Gate — the
+// exact policy object a live daemon uses, minus the daemon. It is the
+// default endpoint of every NewRelay.
+type LocalEndpoint struct {
+	Gate *relayd.Gate
+}
+
+// Admit delegates to the gate.
+func (e LocalEndpoint) Admit(key string, sb relay.SessionBudget) (relay.AmpDecision, bool, *relayd.Refuse) {
+	return e.Gate.Admit(key, sb)
+}
+
+// Release delegates to the gate.
+func (e LocalEndpoint) Release(key string) bool { return e.Gate.Release(key) }
+
+// ResidualLoad delegates to the gate.
+func (e LocalEndpoint) ResidualLoad() float64 { return e.Gate.ResidualLoad() }
+
+// Sessions delegates to the gate's active count.
+func (e LocalEndpoint) Sessions() int { return e.Gate.Active() }
+
+// MaxSessions delegates to the gate.
+func (e LocalEndpoint) MaxSessions() int { return e.Gate.MaxSessions() }

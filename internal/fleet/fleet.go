@@ -47,6 +47,13 @@ type Relay struct {
 	RxAtRelayDBm float64
 	MaxTxDBm     float64
 
+	// ep is the admission endpoint the scheduler actually calls: a
+	// LocalEndpoint over Gate by default, or a WireEndpoint driving a
+	// live ffrelayd (SetEndpoint). The Gate field stays exported either
+	// way — it is the relay's reference admission domain, and tests
+	// assert against it directly.
+	ep Endpoint
+
 	// cls is the relay's own-client fingerprint database: enrolled on
 	// assignment, forgotten on migration (the paper's relays only forward
 	// packets of their own network).
@@ -62,7 +69,7 @@ type Relay struct {
 // fingerprint database. rxAtRelayDBm and maxTxDBm calibrate its Sec 3.5
 // budgets (see Config in assign.go).
 func NewRelay(id int, pos floorplan.Point, maxSessions int, minAmpDB float64, degrade bool, rxAtRelayDBm, maxTxDBm float64) *Relay {
-	return &Relay{
+	r := &Relay{
 		ID:           id,
 		Pos:          pos,
 		Gate:         relayd.NewGate(maxSessions, minAmpDB, degrade),
@@ -70,6 +77,23 @@ func NewRelay(id int, pos floorplan.Point, maxSessions int, minAmpDB float64, de
 		MaxTxDBm:     maxTxDBm,
 		cls:          ident.NewClassifier(ident.AggressiveThreshold),
 	}
+	r.ep = LocalEndpoint{Gate: r.Gate}
+	return r
+}
+
+// Endpoint returns the admission endpoint the scheduler calls for this
+// relay.
+func (r *Relay) Endpoint() Endpoint { return r.ep }
+
+// SetEndpoint swaps the relay's admission endpoint (nil restores the
+// LocalEndpoint over Gate). Swapping while sessions are admitted is the
+// caller's bug — the scheduler's release calls would go to the wrong
+// admission domain.
+func (r *Relay) SetEndpoint(ep Endpoint) {
+	if ep == nil {
+		ep = LocalEndpoint{Gate: r.Gate}
+	}
+	r.ep = ep
 }
 
 // Classifier exposes the relay's own-client fingerprint database.

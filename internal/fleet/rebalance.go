@@ -106,7 +106,7 @@ func (p *Pool) migrate(c *Client) bool {
 		}
 		// Break the old leg only now that the new grant is sticky.
 		if old, ok := p.reg.Get(oldID); ok {
-			old.Gate.Release(sessionKey(c.ID))
+			old.ep.Release(sessionKey(c.ID))
 			old.cls.Forget(c.ID)
 		}
 		c.Assigned = id

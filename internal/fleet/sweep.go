@@ -27,6 +27,16 @@ type SweepConfig struct {
 	// serial reference, 0 one worker per CPU. Results are bit-identical
 	// for every value.
 	Workers int
+	// ServeWire routes every cell's admission through live ffrelayd
+	// daemons on loopback TCP (fleet.ProcessPool) instead of in-process
+	// gates. Books and fleet.* metrics are identical to local mode; the
+	// wire path additionally bit-verifies one admitted session per cell
+	// against its local replica chain and records the fleet.wire.*
+	// metrics.
+	ServeWire bool
+	// WireExec, when ServeWire is set, is a built cmd/ffrelayd binary to
+	// spawn per relay (empty: in-process relayd.Server instances).
+	WireExec string
 	// Obs, when non-nil, receives the fleet.* metrics, recorded
 	// order-independently (per-cell shards).
 	Obs *obs.Registry
@@ -120,6 +130,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 
 	n := len(cfg.RelayCounts) * len(cfg.ClientCounts)
 	res := &SweepResult{Scenario: sc.Name, Cells: make([]CellResult, n)}
+	errs := make([]error, n)
 	par.ForEach(n, cfg.Workers, func(i int) {
 		nRelays := cfg.RelayCounts[i/len(cfg.ClientCounts)]
 		nClients := cfg.ClientCounts[i%len(cfg.ClientCounts)]
@@ -130,8 +141,30 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		cell := BuildCell(ccfg)
 		pool := cell.Pool
 
+		if cfg.ServeWire {
+			pp, err := NewProcessPool(pool.Registry(), ProcessPoolConfig{
+				Pool:  ccfg.Pool,
+				Spec:  DefaultWireSpec(),
+				Exec:  cfg.WireExec,
+				Obs:   cfg.Obs,
+				Shard: obs.ShardForSeed(cellSeed),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer pp.Close()
+		}
+
 		pool.AssignAll()
 		healthy := cell.Evaluate()
+
+		if cfg.ServeWire {
+			if err := verifyOneWireSession(pool); err != nil {
+				errs[i] = err
+				return
+			}
+		}
 
 		cr := CellResult{
 			Scenario: sc.Name,
@@ -174,7 +207,38 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 			m.p99ClientMbps.Observe(shard, healthy.P99Mbps)
 		}
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// verifyWireBlocks is the per-cell bit-verification depth: enough to
+// exercise the daemon's batch executor without dominating the sweep.
+const verifyWireBlocks = 2
+
+// verifyOneWireSession streams seeded blocks through the first assigned
+// client's live session and requires bit-identical output versus the
+// local replica chain — proof each wire cell's admissions are backed by
+// a real serving pipeline, not just an admission ledger.
+func verifyOneWireSession(p *Pool) error {
+	for _, c := range p.Clients() {
+		if c.Assigned == Refused {
+			continue
+		}
+		r, ok := p.Registry().Get(c.Assigned)
+		if !ok {
+			continue
+		}
+		ep, ok := r.Endpoint().(*WireEndpoint)
+		if !ok {
+			return fmt.Errorf("fleet: relay %d is not wire-served", c.Assigned)
+		}
+		return ep.VerifySession(sessionKey(c.ID), verifyWireBlocks)
+	}
+	return nil // a cell where every client was refused has nothing to verify
 }
 
 // busiestRelay returns the ID of the relay holding the most sessions
@@ -182,7 +246,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 func busiestRelay(p *Pool) int {
 	bestID, bestN := 0, -1
 	for _, r := range p.Registry().Relays() {
-		if n := r.Gate.Active(); n > bestN {
+		if n := r.ep.Sessions(); n > bestN {
 			bestID, bestN = r.ID, n
 		}
 	}

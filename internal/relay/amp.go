@@ -50,6 +50,25 @@ func (b AmpBound) String() string {
 	return "unknown"
 }
 
+// ParseAmpBound inverts String: it maps a bound's wire name (as carried
+// in an ACCEPT frame or a manifest) back to the enum value, reporting
+// whether the name is known.
+func ParseAmpBound(s string) (AmpBound, bool) {
+	switch s {
+	case "cancellation":
+		return AmpBoundCancellation, true
+	case "noise_rule":
+		return AmpBoundNoiseRule, true
+	case "pa_limit":
+		return AmpBoundPALimit, true
+	case "floor":
+		return AmpBoundFloor, true
+	case "budget":
+		return AmpBoundBudget, true
+	}
+	return 0, false
+}
+
 // AmpDecision is the outcome of the relay's amplification choice.
 type AmpDecision struct {
 	// AmpDB is the chosen power amplification (>= 0).

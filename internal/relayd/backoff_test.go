@@ -1,0 +1,90 @@
+package relayd
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffNext pins the jitter-free schedule: geometric growth from
+// Min by Factor, clamped at Max, with defaults filled on first use.
+func TestBackoffNext(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Backoff
+		want []time.Duration
+	}{
+		{
+			name: "defaults double from 100ms to the 5s cap",
+			b:    Backoff{},
+			want: []time.Duration{
+				100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+				800 * time.Millisecond, 1600 * time.Millisecond, 3200 * time.Millisecond,
+				5 * time.Second, 5 * time.Second,
+			},
+		},
+		{
+			name: "custom min, max and factor",
+			b:    Backoff{Min: time.Second, Max: 10 * time.Second, Factor: 3},
+			want: []time.Duration{
+				time.Second, 3 * time.Second, 9 * time.Second,
+				10 * time.Second, 10 * time.Second,
+			},
+		},
+		{
+			name: "factor below one falls back to doubling",
+			b:    Backoff{Min: 50 * time.Millisecond, Max: 400 * time.Millisecond, Factor: 0.5},
+			want: []time.Duration{
+				50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+				400 * time.Millisecond, 400 * time.Millisecond,
+			},
+		},
+		{
+			name: "min at max pins every delay",
+			b:    Backoff{Min: 2 * time.Second, Max: 2 * time.Second},
+			want: []time.Duration{2 * time.Second, 2 * time.Second, 2 * time.Second},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i, want := range tc.want {
+				if got := tc.b.Next(); got != want {
+					t.Fatalf("Next() call %d = %v, want %v", i+1, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBackoffReset rewinds the schedule to Min, exactly as after a
+// successful attempt.
+func TestBackoffReset(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 4; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if got := b.Next(); got != 100*time.Millisecond {
+		t.Fatalf("Next() after Reset = %v, want 100ms", got)
+	}
+	if got := b.Next(); got != 200*time.Millisecond {
+		t.Fatalf("second Next() after Reset = %v, want 200ms", got)
+	}
+}
+
+// TestBackoffOverflowClamps drives the multiplication past the int64
+// range of time.Duration: the wraparound guard must clamp to Max rather
+// than going negative.
+func TestBackoffOverflowClamps(t *testing.T) {
+	b := Backoff{Min: 1 << 62, Max: 1<<63 - 1, Factor: 4}
+	first := b.Next()
+	if first != 1<<62 {
+		t.Fatalf("first Next() = %v, want Min", first)
+	}
+	got := b.Next()
+	if got != b.Max {
+		t.Fatalf("overflowing Next() = %v, want Max %v", got, b.Max)
+	}
+	if got <= 0 {
+		t.Fatalf("overflowing Next() went non-positive: %v", got)
+	}
+}

@@ -184,6 +184,64 @@ func (c *Client) Process(out, rx, ref []complex128) error {
 	}
 }
 
+// InfoClient is a control connection to a daemon: it issues QUERY frames
+// and reads back INFO snapshots of the admission state. Like Client it is
+// not safe for concurrent use — one query in flight at a time.
+type InfoClient struct {
+	conn    net.Conn
+	buf     []byte
+	timeout time.Duration
+}
+
+// DialInfo opens a control connection with a per-exchange I/O timeout
+// (zero means block indefinitely). No frame is exchanged until Query.
+func DialInfo(addr string, timeout time.Duration) (*InfoClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &InfoClient{conn: conn, timeout: timeout}, nil
+}
+
+// NewInfoClientConn wraps an established connection as a control
+// connection (net.Pipe in tests).
+func NewInfoClientConn(conn net.Conn, timeout time.Duration) *InfoClient {
+	return &InfoClient{conn: conn, timeout: timeout}
+}
+
+// Query performs one QUERY/INFO round trip.
+func (c *InfoClient) Query() (Info, error) {
+	var info Info
+	if err := armConnDeadline(c.conn, c.timeout); err != nil {
+		c.conn.Close()
+		return info, err
+	}
+	if err := writeFrame(c.conn, FrameQuery, nil); err != nil {
+		return info, err
+	}
+	typ, payload, buf, err := readFrame(c.conn, c.buf)
+	c.buf = buf
+	if err != nil {
+		return info, err
+	}
+	switch typ {
+	case FrameInfo:
+		err = json.Unmarshal(payload, &info)
+		return info, err
+	case FrameRefuse:
+		var ref Refuse
+		if err := json.Unmarshal(payload, &ref); err != nil {
+			return info, err
+		}
+		return info, &RefusedError{Code: ref.Code, Detail: ref.Detail}
+	default:
+		return info, fmt.Errorf("relayd: unexpected frame type %d on query connection", typ)
+	}
+}
+
+// Close closes the control connection.
+func (c *InfoClient) Close() error { return c.conn.Close() }
+
 // Close ends the stream with DONE, returns the daemon's final Stats, and
 // closes the connection.
 func (c *Client) Close() (Stats, error) {

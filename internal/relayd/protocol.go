@@ -41,6 +41,14 @@ const (
 	FrameDone byte = 6
 	// FrameStats closes the session: JSON Stats.
 	FrameStats byte = 7
+	// FrameQuery asks for the daemon's admission state (empty payload).
+	// It opens a control connection instead of a session: the daemon
+	// answers each QUERY with one INFO and keeps the connection open for
+	// further queries, so a fleet scheduler polls residual load without
+	// scraping the HTTP status JSON.
+	FrameQuery byte = 8
+	// FrameInfo answers a QUERY: JSON Info.
+	FrameInfo byte = 9
 )
 
 // MaxFramePayload caps any frame's payload (16 MiB: a 512k-sample block
@@ -112,6 +120,10 @@ type Accept struct {
 	AmpDB float64 `json:"amp_db"`
 	// AmpBound names the binding constraint (relay.AmpBound.String()).
 	AmpBound string `json:"amp_bound"`
+	// StabilityHeadroomDB is the grant's margin to positive feedback
+	// (relay.AmpDecision.StabilityHeadroomDB); carrying it on the wire
+	// makes the full admission decision reconstructible client-side.
+	StabilityHeadroomDB float64 `json:"stability_headroom_db"`
 	// Degraded reports the grant was bisected below the strict bound by
 	// the degrade admission policy.
 	Degraded bool `json:"degraded"`
@@ -131,6 +143,11 @@ const (
 	RefuseBudget = "budget"
 	// RefuseProtocol: a frame violated the protocol mid-session.
 	RefuseProtocol = "protocol"
+	// RefuseUnreachable is client-side only: the daemon could not be
+	// dialed or died mid-handshake. No daemon ever sends it; the fleet
+	// scheduler synthesizes it so a transport failure maps onto the same
+	// spill decision a live refusal would.
+	RefuseUnreachable = "unreachable"
 )
 
 // Refuse is the REFUSE payload.
@@ -145,6 +162,22 @@ type Stats struct {
 	Blocks    uint64  `json:"blocks"`
 	Samples   uint64  `json:"samples"`
 	AmpDB     float64 `json:"amp_db"`
+}
+
+// Info is the INFO payload: the admission state a QUERY observes. It is
+// the wire twin of AdmissionStatus (status.go) minus the policy echo —
+// exactly what a fleet scheduler needs to rank and bound a relay.
+type Info struct {
+	// Active is the number of sessions currently holding grants.
+	Active int `json:"active"`
+	// MaxSessions is the configured cap (0 = uncapped).
+	MaxSessions int `json:"max_sessions"`
+	// MinAmpDB is the admission threshold.
+	MinAmpDB float64 `json:"min_amp_db"`
+	// ResidualLoad is the aggregate Sec 3.5 residual load Σ β_i·A_i.
+	ResidualLoad float64 `json:"residual_load"`
+	// Draining reports the daemon refuses all new sessions.
+	Draining bool `json:"draining"`
 }
 
 // RefusedError is returned by the client when the daemon refused the

@@ -94,6 +94,7 @@ type metrics struct {
 	statusErrors    *obs.Counter
 	framesIn        *obs.Counter
 	framesOut       *obs.Counter
+	infoQueries     *obs.Counter
 	throttleWaits   *obs.Counter
 	drainFlushed    *obs.Counter
 	active          *obs.Gauge
@@ -118,6 +119,7 @@ func newMetrics(reg *obs.Registry) metrics {
 		statusErrors:    reg.Counter("relayd.status_errors", "errors"),
 		framesIn:        reg.Counter("relayd.frames_in", "frames"),
 		framesOut:       reg.Counter("relayd.frames_out", "frames"),
+		infoQueries:     reg.Counter("relayd.info_queries", "queries"),
 		throttleWaits:   reg.Counter("relayd.throttle_waits", "waits"),
 		drainFlushed:    reg.Counter("relayd.drain_flushed_sessions", "sessions"),
 		active:          reg.Gauge("relayd.active_sessions", "sessions"),
@@ -424,11 +426,16 @@ func (s *Server) admit(p SessionParams, remote string) (*Session, float64, *Refu
 }
 
 // release unwinds admission: the session leaves the batch, its budget
-// slot reopens, and its terminal state is accounted. Safe to call exactly
-// once per admitted session.
+// slot reopens, and its terminal state is accounted. Idempotent: the
+// DONE path releases before writing STATS (so a client that saw the
+// STATS frame knows the slot is already free), and the handler's
+// unconditional cleanup call then finds the session gone.
 func (s *Server) release(sess *Session, completed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.sessions[sess.ID]; !ok {
+		return
+	}
 	sess.state.Store(int32(StateClosed))
 	delete(s.sessions, sess.ID)
 	s.batch.Remove(sess.chain)
@@ -503,7 +510,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}
 	typ, payload, buf, err := readFrame(conn, nil)
-	if err != nil || typ != FrameHello {
+	if err != nil {
+		s.m.ioErrors.Inc(0)
+		return
+	}
+	if typ == FrameQuery {
+		s.serveQuery(conn, buf)
+		return
+	}
+	if typ != FrameHello {
 		s.m.ioErrors.Inc(0)
 		return
 	}
@@ -538,11 +553,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	if err := writeJSONFrame(conn, FrameAccept, Accept{
-		SessionID:    sess.ID,
-		AmpDB:        sess.Grant.AmpDB,
-		AmpBound:     sess.Grant.Bound.String(),
-		Degraded:     sess.Degraded,
-		ResidualLoad: load,
+		SessionID:           sess.ID,
+		AmpDB:               sess.Grant.AmpDB,
+		AmpBound:            sess.Grant.Bound.String(),
+		StabilityHeadroomDB: sess.Grant.StabilityHeadroomDB,
+		Degraded:            sess.Degraded,
+		ResidualLoad:        load,
 	}); err != nil {
 		s.m.ioErrors.Inc(sess.shard)
 		s.release(sess, false)
@@ -551,6 +567,55 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	completed := s.streamSession(conn, sess, buf)
 	s.release(sess, completed)
+}
+
+// serveQuery runs a control connection: every QUERY frame is answered
+// with one INFO snapshot of the admission state, and the connection stays
+// open for further queries (the fleet scheduler polls residual load over
+// one long-lived conn). The idle timeout governs the wait for the next
+// QUERY exactly as it governs a session's next DATA frame; any other
+// frame type is a protocol violation.
+func (s *Server) serveQuery(conn net.Conn, buf []byte) {
+	for {
+		if !s.answerQuery(conn) {
+			return
+		}
+		typ, _, nbuf, idle, err := s.readSessionFrame(conn, buf)
+		buf = nbuf
+		if err != nil {
+			if !idle {
+				s.m.ioErrors.Inc(0)
+			}
+			return
+		}
+		if typ != FrameQuery {
+			s.refuse(conn, RefuseProtocol, "unexpected frame type "+strconv.Itoa(int(typ))+" on query connection")
+			s.m.ioErrors.Inc(0)
+			return
+		}
+	}
+}
+
+// answerQuery writes one INFO frame and reports whether the conn is still
+// usable.
+func (s *Server) answerQuery(conn net.Conn) bool {
+	info := Info{
+		Active:       s.gate.Active(),
+		MaxSessions:  s.gate.MaxSessions(),
+		MinAmpDB:     s.gate.MinAmpDB(),
+		ResidualLoad: s.gate.ResidualLoad(),
+		Draining:     s.draining.Load(),
+	}
+	if !s.setWriteDeadline(conn) {
+		return false
+	}
+	if err := writeJSONFrame(conn, FrameInfo, info); err != nil {
+		s.m.ioErrors.Inc(0)
+		return false
+	}
+	s.m.infoQueries.Inc(0)
+	s.m.framesOut.Inc(0)
+	return true
 }
 
 // streamSession runs the admitted session's frame loop and reports
@@ -605,6 +670,11 @@ func (s *Server) streamSession(conn net.Conn, sess *Session, buf []byte) bool {
 			sess.samples.Add(uint64(n))
 			sess.lastActiveNs.Store(obs.NowNanos())
 		case FrameDone:
+			// Release BEFORE answering: a client that has read the STATS
+			// frame must be able to rely on the budget slot being free —
+			// the fleet's make-before-break accounting over the wire needs
+			// Release to be synchronous, not racing the handler teardown.
+			s.release(sess, true)
 			if !s.setWriteDeadline(conn) {
 				return false
 			}

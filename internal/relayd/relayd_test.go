@@ -106,11 +106,16 @@ func TestConcurrentSessionsBitIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// The client sees STATS before the handler's release runs; wait for
-	// the handlers to unwind before reading terminal counters.
+	// The daemon releases before it writes STATS (the wire Release
+	// contract), so the client can return from Close before the handler
+	// has counted the STATS frame; wait for the handlers to unwind before
+	// reading terminal counters.
 	waitFor(t, "all sessions to release", func() bool { return srv.Sessions() == 0 })
 	waitFor(t, "all completions to be counted", func() bool {
 		return reg.Counter("relayd.sessions_completed", "sessions").Value() == nSessions
+	})
+	waitFor(t, "all stats frames to be counted", func() bool {
+		return reg.Counter("relayd.frames_out", "frames").Value() == nSessions*(nBlocks+1)
 	})
 	checks := []struct {
 		name string
